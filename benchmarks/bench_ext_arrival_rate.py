@@ -1,0 +1,72 @@
+"""Extended experiment (ii), §5.9 — varying the request arrival rate.
+
+The paper compresses the trace's 300 s sampling interval to 5 s; this
+sweep walks the compression back toward the original rate and compares
+Samya with MultiPaxSys at each step.  Paper conclusion: even at the
+original (60x slower) arrival rate Avantan commits ~43% more than
+MultiPaxSys; at compressed rates the gap is the 16-18x headline.
+"""
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table, ratio
+
+#: Compressed interval lengths (s); 5 is the paper's default, larger
+#: values approach the original trace rate (fewer requests per second).
+INTERVALS = (5.0, 20.0, 60.0)
+#: Every run replays the same 60 trace intervals (5 simulated hours of
+#: original time), so slower arrival rates still cover the demand peaks.
+TRACE_INTERVALS = 60
+
+
+def run_all():
+    results = {}
+    for interval in INTERVALS:
+        for system in ("samya-majority", "multipaxsys"):
+            config = ExperimentConfig(
+                system=system,
+                duration=TRACE_INTERVALS * interval,
+                seed=3,
+                compressed_interval=interval,
+                epoch_seconds=interval,
+            )
+            results[(system, interval)] = run_experiment(config)
+    return results
+
+
+def test_ext_varying_arrival_rate(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for interval in INTERVALS:
+        samya = results[("samya-majority", interval)]
+        multipax = results[("multipaxsys", interval)]
+        advantage = ratio(samya.committed, max(multipax.committed, 1))
+        rows.append(
+            [f"{interval:.0f}s", samya.committed, multipax.committed,
+             f"{advantage:.2f}x"]
+        )
+    print(
+        format_table(
+            ["interval", "Samya committed", "MultiPaxSys committed", "advantage"],
+            rows,
+            title="§5.9(ii) — commits vs arrival rate (larger interval = slower)",
+        )
+    )
+    # At the compressed rate the advantage is an order of magnitude...
+    fast = ratio(
+        results[("samya-majority", 5.0)].committed,
+        results[("multipaxsys", 5.0)].committed,
+    )
+    assert fast > 8.0
+    # ...and it shrinks monotonically as arrivals slow down, yet Samya
+    # still commits more even at the slowest rate (paper: +43% at 300 s).
+    advantages = [
+        ratio(
+            results[("samya-majority", interval)].committed,
+            results[("multipaxsys", interval)].committed,
+        )
+        for interval in INTERVALS
+    ]
+    assert all(b < a for a, b in zip(advantages, advantages[1:]))
+    assert advantages[-1] > 1.0

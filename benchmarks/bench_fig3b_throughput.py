@@ -1,0 +1,82 @@
+"""Fig. 3b — throughput of all systems under sustained contended load.
+
+Paper headline: Samya commits 16-18x more than MultiPaxSys/CockroachDB
+and ~1.3x more than Demarcation/Escrow; Avantan[(n+1)/2] edges out
+Avantan[*] in failure-free runs because the latter redistributes far
+more often (208 vs 792 rounds in the paper's hour).
+"""
+
+from dataclasses import replace
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_series, format_table, ratio
+
+DURATION = 600.0
+BASE = ExperimentConfig(duration=DURATION, seed=3)
+
+SYSTEMS = {
+    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority"),
+    "Samya Av.[*]": replace(BASE, system="samya-star"),
+    "Demarcation/Escrow": replace(BASE, system="demarcation"),
+    "MultiPaxSys": replace(BASE, system="multipaxsys"),
+    "CockroachDB-like": replace(BASE, system="crdb"),
+}
+
+_cache: dict[str, object] = {}
+
+
+def run_all():
+    if not _cache:
+        for name, config in SYSTEMS.items():
+            _cache[name] = run_experiment(config)
+    return _cache
+
+
+def test_fig3b_throughput(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    majority = results["Samya Av.[(n+1)/2]"]
+    for name, result in results.items():
+        redis = result.redistributions.get("triggered", "-")
+        rows.append(
+            [name, result.committed, f"{result.throughput_avg:.1f}",
+             f"{ratio(majority.throughput_avg, result.throughput_avg):.1f}x", redis]
+        )
+    print(
+        format_table(
+            ["system", "committed", "avg tps", "Samya advantage", "redistributions"],
+            rows,
+            title=f"Fig 3b — throughput over {DURATION:.0f}s of contended load",
+        )
+    )
+    series = results["Samya Av.[(n+1)/2]"].throughput_series
+    downsampled = [(t, v) for t, v in series if int(t) % 30 == 0]
+    print(format_series(downsampled, title="Samya Av.[(n+1)/2] throughput",
+                        x_label="t (s)", y_label="tps"))
+
+    tput = {name: result.throughput_avg for name, result in results.items()}
+    # The headline: an order of magnitude over consensus-per-transaction.
+    assert tput["Samya Av.[(n+1)/2]"] > 8 * tput["MultiPaxSys"]
+    assert tput["Samya Av.[(n+1)/2]"] > 8 * tput["CockroachDB-like"]
+    # MultiPaxSys and CRDB are comparable (the paper's justification for
+    # dropping CRDB from later experiments); CRDB's spread placement
+    # makes it the slower of the two.
+    assert tput["CockroachDB-like"] < tput["MultiPaxSys"]
+    assert tput["MultiPaxSys"] < 4 * tput["CockroachDB-like"]
+    # Samya beats the prediction-less pairwise escrow baseline.
+    assert tput["Samya Av.[(n+1)/2]"] > tput["Demarcation/Escrow"]
+    # Failure-free: majority variant >= star variant...
+    assert tput["Samya Av.[(n+1)/2]"] >= tput["Samya Av.[*]"]
+    # ...because star burns more protocol rounds overall: its greedy
+    # small-subset rounds abort and retry where one majority round would
+    # have rebalanced everyone (208 vs 792 rounds in the paper's hour).
+    def total_rounds(result):
+        return (
+            result.redistributions["triggered"] + result.redistributions["aborted"]
+        )
+
+    assert total_rounds(results["Samya Av.[*]"]) > total_rounds(
+        results["Samya Av.[(n+1)/2]"]
+    )

@@ -1,0 +1,67 @@
+"""Fig. 3e — is redistribution worth it? (§5.5)
+
+Compares Samya against (i) "No Constraints" — no upper bound, every
+request succeeds locally: the unreachable optimum; and (ii) "No
+Redistribution" — exhausted sites just reject.
+
+Paper shape: Samya lands within a few percent of the optimum and above
+the no-redistribution variant (the paper reports ~3.5-4% below optimal
+and ~14% above no-redistribution; our magnitudes are compressed — see
+EXPERIMENTS.md — but the ordering and the rejection mechanics hold).
+"""
+
+from dataclasses import replace
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table, ratio
+
+DURATION = 600.0
+BASE = ExperimentConfig(duration=DURATION, seed=3)
+
+VARIANTS = {
+    "No Constraints (optimal)": replace(BASE, enforce_constraint=False),
+    "Samya Av.[(n+1)/2]": BASE,
+    "Samya Av.[*]": replace(BASE, system="samya-star"),
+    "No Redistribution": replace(BASE, redistribute=False),
+}
+
+
+def run_all():
+    return {name: run_experiment(config) for name, config in VARIANTS.items()}
+
+
+def test_fig3e_constraint_and_redistribution_ablation(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_all)
+    optimal = results["No Constraints (optimal)"].committed
+    rows = [
+        [
+            name,
+            result.committed,
+            result.rejected,
+            f"{100.0 * (1.0 - result.committed / optimal):.1f}%",
+        ]
+        for name, result in results.items()
+    ]
+    print(
+        format_table(
+            ["variant", "committed", "rejected", "below optimal"],
+            rows,
+            title=f"Fig 3e — constraint/redistribution ablation ({DURATION:.0f}s)",
+        )
+    )
+    committed = {name: result.committed for name, result in results.items()}
+    # Ordering: optimum >= Samya >= no-redistribution.
+    assert committed["No Constraints (optimal)"] >= committed["Samya Av.[(n+1)/2]"]
+    assert committed["Samya Av.[(n+1)/2]"] > committed["No Redistribution"]
+    # Samya stays within ~8% of the unconstrained optimum (paper: 3.5-4%).
+    assert committed["Samya Av.[(n+1)/2]"] > 0.92 * committed["No Constraints (optimal)"]
+    # Without redistribution the only outlet is rejection: that variant
+    # rejects at least an order of magnitude more than Samya.
+    assert (
+        results["No Redistribution"].rejected
+        > 5 * results["Samya Av.[(n+1)/2]"].rejected
+    )
+    # And the unconstrained variant by definition rejects nothing.
+    assert results["No Constraints (optimal)"].rejected == 0

@@ -1,0 +1,61 @@
+"""Fig. 3g — scalability: 5 to 20 sites (§5.7).
+
+Additional sites are spawned inside the same five regions; offered load
+and the entity maximum scale with the deployment (a larger customer with
+a larger quota — without scaling M_e, per-site allocations shrink and
+redistribution storms dominate, which is a different experiment).
+
+Paper shape: roughly linear throughput growth with flat latency.
+"""
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table
+
+DURATION = 300.0
+SCALES = (1, 2, 3, 4)  # sites per region -> 5, 10, 15, 20 sites
+
+
+def run_all():
+    results = {}
+    for system in ("samya-majority", "samya-star"):
+        for scale in SCALES:
+            config = ExperimentConfig(
+                system=system,
+                duration=DURATION,
+                seed=3,
+                sites_per_region=scale,
+                demand_scale=float(scale),
+                maximum=5000 * scale,
+            )
+            results[(system, 5 * scale)] = run_experiment(config)
+    return results
+
+
+def test_fig3g_scalability(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        [system, sites, f"{result.throughput_avg:.1f}",
+         f"{result.latency.row_ms()['p90']:.1f}",
+         f"{result.latency.row_ms()['p99']:.1f}"]
+        for (system, sites), result in results.items()
+    ]
+    print(
+        format_table(
+            ["system", "sites", "avg tps", "p90 (ms)", "p99 (ms)"],
+            rows,
+            title="Fig 3g — throughput and latency vs number of sites",
+        )
+    )
+    for system in ("samya-majority", "samya-star"):
+        tps = [results[(system, 5 * scale)].throughput_avg for scale in SCALES]
+        # Monotone growth...
+        assert all(b > a for a, b in zip(tps, tps[1:])), (system, tps)
+        # ...and near-linear: 4x the sites buys at least 2.5x throughput.
+        assert tps[-1] > 2.5 * tps[0], (system, tps)
+        # Median/typical latency stays flat (requests are still local).
+        p90s = [
+            results[(system, 5 * scale)].latency.row_ms()["p90"] for scale in SCALES
+        ]
+        assert max(p90s) < 25.0, (system, p90s)

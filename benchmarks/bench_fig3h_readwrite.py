@@ -1,0 +1,69 @@
+"""Fig. 3h — throughput as the read-only transaction ratio grows (§5.8).
+
+Samya reads are expensive (the coordinator fans out to every site and
+waits for their token counts); MultiPaxSys reads are cheap leaseholder
+reads but its writes serialize through WAN consensus.  The curves cross:
+the paper puts the crossover "roughly past 65%" of reads — i.e. an
+application whose write load is 35% or more should choose Samya.
+"""
+
+from dataclasses import replace
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table
+
+DURATION = 300.0
+RATIOS = (0.0, 0.25, 0.5, 0.65, 0.8, 0.95)
+
+BASE = ExperimentConfig(duration=DURATION, seed=3)
+
+
+def run_all():
+    results = {}
+    for ratio in RATIOS:
+        for system in ("samya-majority", "multipaxsys"):
+            config = replace(BASE, system=system, read_ratio=ratio)
+            results[(system, ratio)] = run_experiment(config)
+    return results
+
+
+def test_fig3h_read_ratio_crossover(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for ratio in RATIOS:
+        samya = results[("samya-majority", ratio)]
+        multipax = results[("multipaxsys", ratio)]
+        rows.append(
+            [f"{ratio:.2f}", f"{samya.throughput_avg:.1f}",
+             f"{multipax.throughput_avg:.1f}",
+             "samya" if samya.throughput_avg > multipax.throughput_avg else "multipaxsys"]
+        )
+    print(
+        format_table(
+            ["read ratio", "Samya tps", "MultiPaxSys tps", "winner"],
+            rows,
+            title="Fig 3h — average throughput vs read-only ratio",
+        )
+    )
+
+    def tput(system, ratio):
+        return results[(system, ratio)].throughput_avg
+
+    # Write-heavy region: Samya dominates by a wide margin.
+    assert tput("samya-majority", 0.0) > 5 * tput("multipaxsys", 0.0)
+    assert tput("samya-majority", 0.5) > tput("multipaxsys", 0.5)
+    # Read-heavy extreme: MultiPaxSys's local leaseholder reads win.
+    assert tput("multipaxsys", 0.95) > tput("samya-majority", 0.95)
+    # Samya's curve falls with the read ratio; MultiPaxSys's rises.
+    samya_curve = [tput("samya-majority", ratio) for ratio in RATIOS]
+    multipax_curve = [tput("multipaxsys", ratio) for ratio in RATIOS]
+    assert samya_curve[0] > samya_curve[-1]
+    assert multipax_curve[0] < multipax_curve[-1]
+    # Crossover lands in the paper's neighbourhood (>= 50% reads).
+    crossover = next(
+        ratio for ratio in RATIOS
+        if tput("multipaxsys", ratio) > tput("samya-majority", ratio)
+    )
+    assert crossover >= 0.5

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (§5): it runs the relevant experiment(s) on the simulated
+substrate, prints the same rows/series the paper reports, and asserts
+the paper's qualitative *shape* (who wins, roughly by how much, where
+crossovers fall).  Absolute numbers differ — the substrate is a
+simulator, not the authors' GCP testbed — see EXPERIMENTS.md.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are macro-benchmarks (each runs a multi-minute simulated
+    experiment); statistical repetition would multiply wall time for no
+    insight, so rounds=iterations=1.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _newline_before_output():
+    """Keep printed tables readable between benchmark lines."""
+    print()
+    yield

@@ -1,0 +1,68 @@
+"""Capacity planning: choose a Prediction Module for your workload.
+
+The paper picks its live predictor by benchmarking candidates offline on
+historical demand (§5.1.1, Table 2a).  This example is that workflow as
+a runnable script: generate (or load) a demand history, evaluate every
+model walk-forward on a held-out split, then show what the winner's
+forecasts look like against reality.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.harness.report import format_series, format_table
+from repro.prediction import (
+    ArimaPredictor,
+    LstmPredictor,
+    RandomWalkPredictor,
+    SeasonalNaivePredictor,
+    evaluate_predictor,
+    train_test_split,
+)
+from repro.workload.trace import SyntheticAzureTrace, TraceConfig
+
+
+def main() -> None:
+    # Ten days of 5-minute demand samples (use your own history here).
+    trace = SyntheticAzureTrace(TraceConfig(days=10.0, base_demand=300.0, seed=3))
+    series = trace.demand.astype(float).tolist()
+    train, test = train_test_split(series, train_fraction=0.8)
+    per_day = trace.config.intervals_per_day
+
+    candidates = {
+        "random-walk": RandomWalkPredictor(),
+        "seasonal-naive": SeasonalNaivePredictor(period=per_day),
+        "ARIMA(6,1,1)": ArimaPredictor(p=6, d=1, q=1),
+        "LSTM": LstmPredictor(window=32, hidden_size=16, epochs=8,
+                              periods=(per_day,), seed=5),
+    }
+    reports = {
+        name: evaluate_predictor(model, list(train), list(test), name)
+        for name, model in candidates.items()
+    }
+    rows = sorted(
+        ([name, f"{report.mae:.2f}", f"{report.rmse:.2f}"]
+         for name, report in reports.items()),
+        key=lambda row: float(row[1]),
+    )
+    print(
+        format_table(
+            ["model", "MAE (tokens)", "RMSE (tokens)"],
+            rows,
+            title="Walk-forward accuracy on the held-out 20% (lower is better)",
+        )
+    )
+    winner = min(reports.values(), key=lambda report: report.mae)
+    print(f"\nPlug the winner into the site: predictor={winner.name!r}\n")
+
+    window = 48
+    actual = [(float(i), value) for i, value in enumerate(winner.actuals[:window])]
+    forecast = [(float(i), value) for i, value in enumerate(winner.predictions[:window])]
+    print(format_series(actual, title="Actual demand (first 4 hours of test)",
+                        x_label="interval", y_label="tokens"))
+    print()
+    print(format_series(forecast, title=f"{winner.name} one-step forecasts",
+                        x_label="interval", y_label="tokens"))
+
+
+if __name__ == "__main__":
+    main()

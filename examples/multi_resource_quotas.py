@@ -1,0 +1,116 @@
+"""Multiple resources, one deployment: the full §3 data model.
+
+An enterprise tracks three resource types with separate quotas:
+
+- ``vm``        — 5,000 virtual machines, everywhere, hot and bursty;
+- ``disk-gb``   — 200,000 GB of block storage, everywhere, calm;
+- ``gpu``       — 64 accelerators, held only by the two US-adjacent
+                  sites (a scarce resource with restricted placement,
+                  the §3.1 "only some sites store some resources" case).
+
+Each entity has its own token pool, its own Avantan instances, and its
+own conservation audit; the directory service routes requests by entity
+id.  A VM demand spike redistributes VM tokens without disturbing disk
+or GPU traffic.
+
+Run:  python examples/multi_resource_quotas.py
+"""
+
+import random
+
+from repro.core.client import Operation
+from repro.core.config import AvantanVariant
+from repro.core.directory import EntitySpec, MultiEntityDeployment
+from repro.core.entity import Entity
+from repro.core.requests import RequestKind
+from repro.core.config import SamyaConfig
+from repro.harness.report import format_table
+from repro.metrics import MetricsHub
+from repro.net import Network
+from repro.net.regions import PAPER_REGIONS, Region
+from repro.sim import Kernel
+
+DURATION = 120.0
+
+
+def stream(rng, rate, amount_range=(1, 1), lifetime=20.0):
+    operations = []
+    t = 0.0
+    while t < DURATION:
+        t += rng.expovariate(rate)
+        amount = rng.randint(*amount_range)
+        operations.append(Operation(t, RequestKind.ACQUIRE, amount))
+        done = t + rng.expovariate(1 / lifetime)
+        if done < DURATION:
+            operations.append(Operation(done, RequestKind.RELEASE, amount))
+    operations.sort(key=lambda op: op.time)
+    return operations
+
+
+def main() -> None:
+    kernel = Kernel(seed=11)
+    network = Network(kernel)
+    specs = [
+        EntitySpec(
+            Entity("vm", 5_000),
+            config=SamyaConfig(variant=AvantanVariant.MAJORITY, epoch_seconds=5.0),
+        ),
+        EntitySpec(
+            Entity("disk-gb", 200_000),
+            config=SamyaConfig(variant=AvantanVariant.STAR, epoch_seconds=5.0),
+        ),
+        EntitySpec(
+            Entity("gpu", 64),
+            regions=(Region.US_WEST1, Region.SOUTHAMERICA_EAST1),
+            config=SamyaConfig(variant=AvantanVariant.STAR, epoch_seconds=5.0),
+        ),
+    ]
+    deployment = MultiEntityDeployment(kernel, network, PAPER_REGIONS, specs)
+
+    rng = random.Random(3)
+    hubs = {entity: MetricsHub() for entity in ("vm", "disk-gb", "gpu")}
+    for region in PAPER_REGIONS:
+        hot = region is Region.ASIA_EAST2
+        deployment.add_client(
+            region, "vm", stream(rng, rate=60.0 if hot else 6.0), metrics=hubs["vm"]
+        )
+        deployment.add_client(
+            region, "disk-gb",
+            stream(rng, rate=5.0, amount_range=(10, 200), lifetime=60.0),
+            metrics=hubs["disk-gb"],
+        )
+        deployment.add_client(
+            region, "gpu", stream(rng, rate=0.3, lifetime=40.0), metrics=hubs["gpu"]
+        )
+
+    deployment.start()
+    kernel.run(until=DURATION)
+    deployment.check_all()
+
+    rows = []
+    for entity, hub in hubs.items():
+        latency = hub.latency_summary().row_ms()
+        sites = deployment.sites_by_entity[entity]
+        redistributions = sum(site.protocol.stats.triggered for site in sites)
+        rows.append(
+            [entity, len(sites), hub.committed, hub.rejected,
+             f"{latency['p90']:.1f}", f"{latency['p99']:.1f}",
+             redistributions, deployment.tokens_left(entity)]
+        )
+    print(
+        format_table(
+            ["entity", "sites", "committed", "rejected", "p90 ms", "p99 ms",
+             "redistributions", "tokens left"],
+            rows,
+            title="Three independent quotas on one deployment (asia VM spike)",
+        )
+    )
+    print(
+        "\nNote the isolation: the VM spike triggers VM redistributions while\n"
+        "disk p99 stays local; GPU requests from non-US regions pay one WAN\n"
+        "hop to the two sites that hold GPUs (directory-based placement)."
+    )
+
+
+if __name__ == "__main__":
+    main()

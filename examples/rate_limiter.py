@@ -1,0 +1,108 @@
+"""A geo-distributed API rate limiter on Samya (§1: "rate limiting
+services to manage quotas and policies").
+
+A SaaS tenant has a global quota of 3,000 concurrent in-flight API
+calls.  Edge proxies in five regions acquire a token per admitted call
+and release it when the call finishes (~2 s later).  Operators also poll
+the remaining global quota (read-only transactions, §5.8).
+
+The example contrasts both Avantan variants on the same workload and
+shows the local-admission latency that makes Samya viable on this path
+(a Spanner round per API call would be absurd).
+
+Run:  python examples/rate_limiter.py
+"""
+
+import random
+
+from repro.core import Entity, SamyaCluster, SamyaConfig
+from repro.core.client import Operation
+from repro.core.config import AvantanVariant
+from repro.core.requests import RequestKind
+from repro.harness.report import format_table
+from repro.metrics import ConservationChecker, MetricsHub
+from repro.net import Network
+from repro.net.regions import PAPER_REGIONS, Region
+from repro.sim import Kernel
+
+QUOTA = 3_000
+DURATION = 120.0
+
+
+def edge_traffic(rng: random.Random, busy_region: bool) -> list[Operation]:
+    """Admissions with per-call lifetimes ~2 s, plus operator reads."""
+    operations = []
+    t = 0.0
+    while t < DURATION:
+        t += rng.expovariate(400.0 if busy_region else 20.0)
+        if rng.random() < 0.02:
+            operations.append(Operation(t, RequestKind.READ, 0))
+            continue
+        operations.append(Operation(t, RequestKind.ACQUIRE, 1))
+        done = t + rng.expovariate(1 / 2.0)
+        if done < DURATION:
+            operations.append(Operation(done, RequestKind.RELEASE, 1))
+    operations.sort(key=lambda op: op.time)
+    return operations
+
+
+def run_variant(variant: AvantanVariant) -> dict[str, object]:
+    kernel = Kernel(seed=21)
+    network = Network(kernel)
+    cluster = SamyaCluster(
+        kernel=kernel,
+        network=network,
+        entity=Entity("api-calls", QUOTA),
+        regions=PAPER_REGIONS,
+        config=SamyaConfig(
+            variant=variant, epoch_seconds=2.0, redistribution_cooldown=6.0
+        ),
+    )
+    metrics = MetricsHub()
+    checker = ConservationChecker(QUOTA)
+    checker.watch(cluster.sites)
+    rng = random.Random(5)
+    for region in PAPER_REGIONS:
+        busy = region is Region.US_WEST1  # one region dominates traffic
+        cluster.add_client(region, edge_traffic(rng, busy), metrics=metrics)
+    cluster.start()
+    kernel.run(until=DURATION)
+    checker.check()
+    latency = metrics.latency_summary().row_ms()
+    return {
+        "admitted": metrics.committed,
+        "throttled": metrics.rejected,
+        "quota reads": metrics.committed_reads,
+        "admit p90 (ms)": f"{latency['p90']:.2f}",
+        "admit p99 (ms)": f"{latency['p99']:.2f}",
+        "read p90 (ms)": f"{metrics.read_latency_summary().row_ms()['p90']:.0f}",
+        "redistributions": cluster.redistribution_totals()["triggered"],
+    }
+
+
+def main() -> None:
+    rows = []
+    results = {
+        "Avantan[(n+1)/2]": run_variant(AvantanVariant.MAJORITY),
+        "Avantan[*]": run_variant(AvantanVariant.STAR),
+    }
+    metrics = list(next(iter(results.values())).keys())
+    for metric in metrics:
+        rows.append([metric] + [results[name][metric] for name in results])
+    print(
+        format_table(
+            ["metric"] + list(results),
+            rows,
+            title=f"Rate limiter: {QUOTA} concurrent calls, {DURATION:.0f}s, "
+                  f"US region 20x hotter",
+        )
+    )
+    print(
+        "\nAdmission is local (~2 ms p90): the hot region keeps admitting\n"
+        "because Avantan shifts quota toward it; operator reads pay one\n"
+        "global fan-out round trip."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reproduction of "Samya: A Geo-Distributed Data System for High
+Contention Aggregate Data" (Maiyya, Ahmad, Agrawal, El Abbadi — ICDE 2021).
+
+The package implements the full system described in the paper — the
+Samya sites with their four modules, both Avantan consensus variants,
+the Algorithm-2 token reallocation, the prediction models of Table 2a —
+plus every substrate and baseline the evaluation needs: a discrete-event
+geo-network simulator, multi-Paxos and Raft replicated logs, the
+Demarcation/Escrow baseline, the Azure-like workload pipeline, and an
+experiment harness that regenerates each table and figure of §5.
+
+Quick tour::
+
+    from repro.harness import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(system="samya-majority"))
+    print(result.throughput_avg, result.latency.row_ms())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and fidelity notes, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.core import (
+    AppManager,
+    ClientRequest,
+    ClientResponse,
+    Entity,
+    EntityState,
+    RequestKind,
+    RequestStatus,
+    SamyaCluster,
+    SamyaConfig,
+    SamyaSite,
+    SiteTokenState,
+    WorkloadClient,
+)
+from repro.core.config import AvantanVariant
+from repro.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.metrics import ConservationChecker, LatencySummary, MetricsHub
+from repro.net import Network, NetworkConfig, Region
+from repro.sim import Kernel
+from repro.workload import SyntheticAzureTrace, TraceConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppManager",
+    "AvantanVariant",
+    "ClientRequest",
+    "ClientResponse",
+    "ConservationChecker",
+    "Entity",
+    "EntityState",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Kernel",
+    "LatencySummary",
+    "MetricsHub",
+    "Network",
+    "NetworkConfig",
+    "Region",
+    "RequestKind",
+    "RequestStatus",
+    "SamyaCluster",
+    "SamyaConfig",
+    "SamyaSite",
+    "SiteTokenState",
+    "SyntheticAzureTrace",
+    "TraceConfig",
+    "WorkloadClient",
+    "run_experiment",
+]

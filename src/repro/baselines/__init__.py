@@ -1,0 +1,24 @@
+"""Baseline systems the paper compares Samya against (§5).
+
+- :mod:`repro.baselines.multipaxsys` — MultiPaxSys, a Spanner-like
+  system running one multi-Paxos round per transaction over a single
+  replicated token counter (built on :mod:`repro.baselines.paxos`).
+- :mod:`repro.baselines.crdb` — a CockroachDB-like system replicating
+  through Raft (built on :mod:`repro.baselines.raft`), leaseholder reads.
+- :mod:`repro.baselines.demarcation` — Demarcation/Escrow: equal initial
+  escrows, local serving, pairwise borrowing, reliable-network
+  assumption.
+"""
+
+from repro.baselines.statemachine import TokenCommand, TokenStateMachine
+from repro.baselines.multipaxsys import MultiPaxSysCluster
+from repro.baselines.crdb import CockroachLikeCluster
+from repro.baselines.demarcation import DemarcationCluster
+
+__all__ = [
+    "TokenCommand",
+    "TokenStateMachine",
+    "MultiPaxSysCluster",
+    "CockroachLikeCluster",
+    "DemarcationCluster",
+]

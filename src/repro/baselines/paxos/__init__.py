@@ -1,0 +1,5 @@
+"""Multi-Paxos replicated log (substrate for MultiPaxSys)."""
+
+from repro.baselines.paxos.replica import PaxosConfig, PaxosReplica
+
+__all__ = ["PaxosConfig", "PaxosReplica"]

@@ -1,0 +1,73 @@
+"""Multi-Paxos wire messages.
+
+Ballots are ``(number, replica_name)`` tuples ordered lexicographically.
+``commit_index`` piggybacks on most messages so followers learn commits
+without a dedicated round, as in Paxos Made Live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.wal import LogEntry
+
+Ballot = tuple[int, str]
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: a candidate solicits promises."""
+
+    ballot: Ballot
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: promise + the log tail the candidate may be missing."""
+
+    ballot: Ballot
+    entries: tuple[LogEntry, ...]
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a for one log entry."""
+
+    ballot: Ballot
+    entry: LogEntry
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b acknowledgment."""
+
+    ballot: Ballot
+    index: int
+
+
+@dataclass(frozen=True)
+class AcceptNack:
+    """Follower is missing entries before ``expected_index``."""
+
+    ballot: Ballot
+    expected_index: int
+
+
+@dataclass(frozen=True)
+class Backfill:
+    """Leader -> lagging follower: the entries it is missing."""
+
+    ballot: Ballot
+    entries: tuple[LogEntry, ...]
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Leader liveness + commit propagation."""
+
+    ballot: Ballot
+    commit_index: int

@@ -1,0 +1,5 @@
+"""Raft replicated log (substrate for the CockroachDB-like baseline)."""
+
+from repro.baselines.raft.node import RaftConfig, RaftNode
+
+__all__ = ["RaftConfig", "RaftNode"]

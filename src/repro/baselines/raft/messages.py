@@ -1,0 +1,40 @@
+"""Raft wire messages, straight out of the Raft paper (Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.wal import LogEntry
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteReply:
+    term: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendEntriesReply:
+    term: int
+    success: bool
+    #: On success: highest index now matching the leader's log.
+    #: On failure: a hint for where the leader should back up to.
+    match_index: int

@@ -1,0 +1,48 @@
+"""The replicated state machine both log-based baselines apply.
+
+A single aggregate counter with the Eq. 1 constraint: an acquire commits
+only if it keeps total usage within the maximum.  Deterministic, so every
+replica applying the same log derives the same state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.requests import RequestKind
+
+
+@dataclass(frozen=True)
+class TokenCommand:
+    """A log command: one client transaction against one entity."""
+
+    request_id: int
+    kind: RequestKind
+    entity_id: str
+    amount: int
+
+
+class TokenStateMachine:
+    """Tracks aggregate usage for each entity under a global limit."""
+
+    def __init__(self, maxima: dict[str, int]) -> None:
+        self.maxima = dict(maxima)
+        self.used: dict[str, int] = {entity: 0 for entity in maxima}
+
+    def apply(self, command: TokenCommand) -> bool:
+        """Apply a committed command; True if the transaction is granted."""
+        if command.entity_id not in self.maxima:
+            return False
+        used = self.used[command.entity_id]
+        if command.kind is RequestKind.ACQUIRE:
+            if used + command.amount > self.maxima[command.entity_id]:
+                return False
+            self.used[command.entity_id] = used + command.amount
+            return True
+        if command.kind is RequestKind.RELEASE:
+            self.used[command.entity_id] = max(0, used - command.amount)
+            return True
+        return True  # reads never mutate
+
+    def available(self, entity_id: str) -> int:
+        return self.maxima[entity_id] - self.used[entity_id]

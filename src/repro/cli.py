@@ -1,0 +1,212 @@
+"""Command-line interface: run experiments without writing a script.
+
+Examples::
+
+    python -m repro run --system samya-majority --duration 120
+    python -m repro compare --systems samya-majority,multipaxsys
+    python -m repro predict --models random-walk,arima,lstm
+    python -m repro trace --days 7
+
+Every command prints the same tables the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.harness.experiment import (
+    PREDICTORS,
+    REALLOCATORS,
+    SYSTEMS,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.harness.report import format_series, format_table
+from repro.workload.trace import SyntheticAzureTrace, TraceConfig
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=args.system if hasattr(args, "system") else "samya-majority",
+        duration=args.duration,
+        maximum=args.maximum,
+        seed=args.seed,
+        predictor=args.predictor,
+        reallocator=args.reallocator,
+        read_ratio=args.read_ratio,
+        loss_probability=args.loss,
+    )
+
+
+def _result_rows(result) -> list[list[object]]:
+    latency = result.latency.row_ms()
+    return [
+        ["committed", result.committed],
+        ["committed reads", result.committed_reads],
+        ["rejected", result.rejected],
+        ["failed", result.failed],
+        ["shed (client window)", result.shed],
+        ["avg throughput (tps)", f"{result.throughput_avg:.1f}"],
+        ["latency p90 (ms)", f"{latency['p90']:.2f}"],
+        ["latency p95 (ms)", f"{latency['p95']:.2f}"],
+        ["latency p99 (ms)", f"{latency['p99']:.2f}"],
+        ["redistributions", result.redistributions.get("triggered", "-")],
+        ["conservation audits", result.invariant_checks],
+    ]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_base_config(args))
+    print(
+        format_table(
+            ["metric", "value"],
+            _result_rows(result),
+            title=f"{args.system} — {args.duration:.0f}s simulated",
+        )
+    )
+    if args.series:
+        samples = [(t, v) for t, v in result.throughput_series if int(t) % 10 == 0]
+        print()
+        print(format_series(samples, title="throughput", x_label="t (s)", y_label="tps"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    unknown = [name for name in systems if name not in SYSTEMS]
+    if unknown:
+        print(f"unknown systems: {unknown}; pick from {SYSTEMS}", file=sys.stderr)
+        return 2
+    base = _base_config(args)
+    rows = []
+    for system in systems:
+        result = run_experiment(replace(base, system=system))
+        latency = result.latency.row_ms()
+        rows.append(
+            [system, result.committed, f"{result.throughput_avg:.1f}",
+             f"{latency['p90']:.1f}", f"{latency['p99']:.1f}", result.rejected]
+        )
+    print(
+        format_table(
+            ["system", "committed", "avg tps", "p90 ms", "p99 ms", "rejected"],
+            rows,
+            title=f"comparison — {args.duration:.0f}s simulated, same workload",
+        )
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.prediction import (
+        ArimaPredictor,
+        LstmPredictor,
+        RandomWalkPredictor,
+        SeasonalNaivePredictor,
+        evaluate_predictor,
+        train_test_split,
+    )
+
+    trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
+    series = trace.demand.astype(float).tolist()
+    train, test = train_test_split(series, 0.8)
+    per_day = trace.config.intervals_per_day
+    factories = {
+        "random-walk": lambda: RandomWalkPredictor(),
+        "seasonal": lambda: SeasonalNaivePredictor(period=per_day),
+        "arima": lambda: ArimaPredictor(p=6, d=1, q=1),
+        "lstm": lambda: LstmPredictor(window=32, hidden_size=16, epochs=8,
+                                      periods=(per_day,), seed=args.seed),
+    }
+    names = [name.strip() for name in args.models.split(",") if name.strip()]
+    unknown = [name for name in names if name not in factories]
+    if unknown:
+        print(f"unknown models: {unknown}; pick from {sorted(factories)}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in names:
+        report = evaluate_predictor(factories[name](), list(train), list(test), name)
+        rows.append([name, f"{report.mae:.2f}", f"{report.rmse:.2f}"])
+    print(
+        format_table(
+            ["model", "MAE", "RMSE"],
+            rows,
+            title=f"walk-forward accuracy on {args.days:.0f} days of demand",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
+    stats = trace.demand_stats()
+    print(
+        format_table(
+            ["stat", "value"],
+            [[key, f"{value:.2f}"] for key, value in stats.items()],
+            title="synthetic Azure-like demand trace",
+        )
+    )
+    per_day = trace.config.intervals_per_day
+    day = [(float(i), float(v)) for i, v in enumerate(trace.demand[:per_day])]
+    print()
+    print(format_series(day, title="day 1", x_label="interval", y_label="VM creations"))
+    return 0
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds of load (default 120)")
+    parser.add_argument("--maximum", type=int, default=5000,
+                        help="global token limit M_e (default 5000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--predictor", choices=PREDICTORS, default="seasonal")
+    parser.add_argument("--reallocator", choices=sorted(REALLOCATORS), default="greedy")
+    parser.add_argument("--read-ratio", type=float, default=0.0)
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="per-message loss probability")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Samya (ICDE 2021) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one system under trace load")
+    run_parser.add_argument("--system", choices=SYSTEMS, default="samya-majority")
+    run_parser.add_argument("--series", action="store_true",
+                            help="also print the throughput series")
+    _add_experiment_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="run several systems on the same load")
+    compare_parser.add_argument(
+        "--systems", default="samya-majority,samya-star,multipaxsys"
+    )
+    _add_experiment_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    predict_parser = sub.add_parser("predict", help="offline predictor bake-off")
+    predict_parser.add_argument("--models", default="random-walk,seasonal,arima")
+    predict_parser.add_argument("--days", type=float, default=10.0)
+    predict_parser.add_argument("--seed", type=int, default=1)
+    predict_parser.set_defaults(func=cmd_predict)
+
+    trace_parser = sub.add_parser("trace", help="inspect the synthetic demand trace")
+    trace_parser.add_argument("--days", type=float, default=7.0)
+    trace_parser.add_argument("--seed", type=int, default=7)
+    trace_parser.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Deployment builder: wire sites, app managers, and clients together.
+
+Mirrors the paper's setup (§5.2): one site and one client+app-manager
+pair per region, the maximum limit split across sites as the initial
+allocation (evenly by default, unevenly if historic data suggests it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.app_manager import AppManager, ClosestRegionRouting
+from repro.core.client import Operation, WorkloadClient
+from repro.core.config import SamyaConfig
+from repro.core.entity import Entity
+from repro.core.reallocation import Reallocator
+from repro.core.site import SamyaSite
+from repro.net.network import Network
+from repro.net.regions import Region
+from repro.prediction.base import Predictor
+from repro.sim.kernel import Kernel
+
+
+def split_initial_allocation(maximum: int, sites: int) -> list[int]:
+    """Evenly split M_e across sites; remainder to the first sites."""
+    if sites <= 0:
+        raise ValueError("need at least one site")
+    share, remainder = divmod(maximum, sites)
+    return [share + (1 if index < remainder else 0) for index in range(sites)]
+
+
+class SamyaCluster:
+    """A fully wired Samya deployment over one kernel and network."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        entity: Entity,
+        regions: Sequence[Region],
+        sites_per_region: int = 1,
+        config: SamyaConfig | None = None,
+        predictor_factory: Callable[[Region, int], Predictor | None] | None = None,
+        reallocator: Reallocator | None = None,
+        initial_allocation: Sequence[int] | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.entity = entity
+        self.config = config or SamyaConfig()
+        self.sites: list[SamyaSite] = []
+        self.app_managers: dict[Region, AppManager] = {}
+        self.clients: list[WorkloadClient] = []
+
+        placements = [
+            (region, replica)
+            for replica in range(sites_per_region)
+            for region in regions
+        ]
+        if initial_allocation is None:
+            allocation = split_initial_allocation(entity.maximum, len(placements))
+        else:
+            allocation = list(initial_allocation)
+            if len(allocation) != len(placements):
+                raise ValueError(
+                    f"initial_allocation has {len(allocation)} entries for "
+                    f"{len(placements)} sites"
+                )
+            if sum(allocation) != entity.maximum:
+                raise ValueError("initial_allocation must sum to the entity maximum")
+
+        for (region, replica), tokens in zip(placements, allocation):
+            suffix = f"-{replica}" if sites_per_region > 1 else ""
+            predictor = (
+                predictor_factory(region, replica) if predictor_factory else None
+            )
+            site = SamyaSite(
+                kernel=kernel,
+                name=f"site-{region.value}{suffix}",
+                region=region,
+                network=network,
+                entity=entity,
+                initial_tokens=tokens,
+                config=self.config,
+                predictor=predictor,
+                reallocator=reallocator,
+            )
+            self.sites.append(site)
+
+        site_names = [site.name for site in self.sites]
+        for site in self.sites:
+            site.connect(site_names)
+
+        routing = ClosestRegionRouting(network, self.sites)
+        for region in regions:
+            manager = AppManager(
+                kernel=kernel,
+                name=f"am-{region.value}",
+                region=region,
+                network=network,
+                routing=routing,
+            )
+            self.app_managers[region] = manager
+
+    def add_client(
+        self,
+        region: Region,
+        operations: list[Operation],
+        metrics=None,
+        name: str | None = None,
+    ) -> WorkloadClient:
+        client = WorkloadClient(
+            kernel=self.kernel,
+            name=name or f"client-{region.value}-{len(self.clients)}",
+            region=region,
+            app_manager=self.app_managers[region],
+            entity_id=self.entity.id,
+            operations=operations,
+            metrics=metrics,
+        )
+        self.clients.append(client)
+        return client
+
+    def start(self) -> None:
+        for client in self.clients:
+            client.start()
+
+    def total_tokens_left(self) -> int:
+        return sum(site.state.tokens_left for site in self.sites)
+
+    def redistribution_totals(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for site in self.sites:
+            for key, value in site.redistribution_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def round_summary(self):
+        """Aggregate per-round protocol trace (durations, outcomes)."""
+        from repro.metrics.rounds import RoundSummary
+
+        return RoundSummary.from_logs(
+            [site.protocol.rounds for site in self.sites if site.protocol is not None]
+        )

@@ -1,0 +1,100 @@
+"""Tunables for a Samya deployment.
+
+Defaults follow the paper's setup (§5.2): epoch = one trace interval,
+redistribution timeouts of a few hundred milliseconds (covering a WAN
+round trip), and a small local service time per request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AvantanVariant(str, enum.Enum):
+    """Which redistribution protocol a deployment runs (§4.3)."""
+
+    MAJORITY = "majority"  # Avantan[(n+1)/2]
+    STAR = "star"  # Avantan[*]
+
+
+@dataclass
+class SamyaConfig:
+    """Per-site behaviour knobs."""
+
+    variant: AvantanVariant = AvantanVariant.MAJORITY
+
+    #: Look-ahead window for demand prediction, in seconds (§4.2).  The
+    #: paper predicts one trace interval ahead (5 minutes of original
+    #: time, 5 seconds after compression).
+    epoch_seconds: float = 5.0
+
+    #: CPU cost of serving one client request locally (seconds).
+    service_time: float = 0.0002
+
+    #: CPU cost of handling one protocol message (seconds).
+    protocol_service_time: float = 0.0002
+
+    #: Leader timeout waiting for ElectionOk-Value responses; on expiry a
+    #: phase-1 leader aborts the redistribution (§4.3.1 fault tolerance).
+    election_timeout: float = 1.0
+
+    #: Cohort timeout for detecting leader failure mid-protocol.
+    cohort_timeout: float = 2.5
+
+    #: Retry interval while blocked waiting for a majority of Accept-oks.
+    blocked_retry_interval: float = 2.5
+
+    #: Timeout for collecting remote token info on read transactions.
+    read_timeout: float = 1.0
+
+    #: Enable proactive (prediction-driven) redistributions (§4.2).
+    proactive: bool = True
+
+    #: Minimum gap between consecutive proactive trigger evaluations at
+    #: one site, so the "background thread" check is not re-run for every
+    #: single request in a dense stream.
+    proactive_check_interval: float = 1.0
+
+    #: Enforce the global constraint (Eq. 1).  Disabled only for the
+    #: "No Constraints" ablation of §5.5.
+    enforce_constraint: bool = True
+
+    #: Perform redistributions at all.  Disabled only for the
+    #: "No Redistribution" ablation of §5.5 (exhausted sites just reject).
+    redistribute: bool = True
+
+    #: Minimum gap between consecutive *proactive* redistributions
+    #: triggered by the same site.  Without it a site whose demand
+    #: persistently exceeds the global supply re-triggers every epoch and
+    #: the whole cluster spends its time frozen in Avantan rounds.  The
+    #: paper's measured rate (208 redistributions/hour, §5.3) corresponds
+    #: to one trigger per site every ~85 s of compressed time.
+    redistribution_cooldown: float = 20.0
+
+    #: Minimum gap between *reactive* redistributions at one site.
+    reactive_cooldown: float = 5.0
+
+    #: Eq. 5 taken literally: a reactive trigger asks for the amount of
+    #: the request that could not be served (TokensWanted = m) instead of
+    #: the whole queued deficit.  Tiny asks mean the site re-exhausts
+    #: immediately — the paper's no-prediction behaviour (Fig. 3f).
+    reactive_wanted_literal: bool = False
+
+    #: What to do with an unservable acquire while the reactive cooldown
+    #: blocks a new round: queue it until the next round (paper-literal,
+    #: §4.3 "queues all requests") or reject it immediately so the client
+    #: is not stranded behind a redistribution that cannot help.
+    queue_during_cooldown: bool = False
+
+    #: How many epochs of predicted demand a site asks for when it
+    #: triggers (TokensWanted = ceil(prediction * horizon) - TokensLeft).
+    #: Eq. 4 uses exactly one epoch; asking for a few keeps the site
+    #: supplied through the cooldown window above.
+    want_horizon_epochs: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if self.service_time < 0 or self.protocol_service_time < 0:
+            raise ValueError("service times must be non-negative")

@@ -1,0 +1,157 @@
+"""Enterprise resource hierarchies (the paper's Fig. 1 motivation).
+
+Cloud providers organize customers hierarchically — organization →
+departments → teams — with the resource limit set at the root and every
+team's consumption counting against it (§1).  That aggregation is what
+turns the root's usage record into a hotspot: "typical update rates for
+a single node may be in the hundreds of transactions per second, but the
+aggregate load on the root ... may easily be in thousands".
+
+This module provides that application layer: an :class:`OrgHierarchy`
+describes the tree, attributes every acquire/release to the issuing
+team, rolls usage up the tree, and compiles each team's activity into
+the root-entity operation stream a Samya deployment serves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.client import Operation
+from repro.core.requests import RequestKind
+
+
+@dataclass
+class OrgNode:
+    """One unit of the hierarchy (organization, department, or team)."""
+
+    name: str
+    children: list["OrgNode"] = field(default_factory=list)
+    #: Tokens currently attributed to this subtree (leaf usage rolls up).
+    usage: int = 0
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self) -> Iterator["OrgNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class OrgHierarchy:
+    """Usage attribution over an org tree with a root-level limit.
+
+    The hierarchy is an *accounting* layer: admission control stays with
+    the Samya deployment that manages the root entity.  Record a team's
+    grant with :meth:`record_acquire` / :meth:`record_release` and read
+    usage at any aggregation level.
+    """
+
+    def __init__(self, root: OrgNode) -> None:
+        self.root = root
+        self._nodes: dict[str, OrgNode] = {}
+        self._parents: dict[str, str | None] = {}
+        self._index(root, parent=None)
+
+    def _index(self, node: OrgNode, parent: str | None) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r} in hierarchy")
+        self._nodes[node.name] = node
+        self._parents[node.name] = parent
+        for child in node.children:
+            self._index(child, node.name)
+
+    # -- lookup --------------------------------------------------------------
+
+    def node(self, name: str) -> OrgNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r} in the hierarchy") from None
+
+    def teams(self) -> list[OrgNode]:
+        """All leaves — the units that actually consume resources."""
+        return [node for node in self.root.walk() if node.is_leaf()]
+
+    def path_to_root(self, name: str) -> list[str]:
+        path = [name]
+        while (parent := self._parents[path[-1]]) is not None:
+            path.append(parent)
+        return path
+
+    # -- usage accounting ------------------------------------------------------
+
+    def record_acquire(self, team: str, amount: int) -> None:
+        """Attribute ``amount`` granted tokens to ``team`` and every
+        ancestor up to the root — the percolation the paper describes."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        node = self.node(team)
+        if not node.is_leaf():
+            raise ValueError(f"{team!r} is not a team (leaf); only teams consume")
+        for name in self.path_to_root(team):
+            self._nodes[name].usage += amount
+
+    def record_release(self, team: str, amount: int) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        node = self.node(team)
+        if not node.is_leaf():
+            raise ValueError(f"{team!r} is not a team (leaf); only teams consume")
+        if node.usage < amount:
+            raise ValueError(
+                f"team {team!r} releasing {amount} but only holds {node.usage}"
+            )
+        for name in self.path_to_root(team):
+            self._nodes[name].usage -= amount
+
+    def usage_report(self) -> dict[str, int]:
+        """Usage per node, every aggregation level included."""
+        return {node.name: node.usage for node in self.root.walk()}
+
+    def check_rollup(self) -> None:
+        """Internal consistency: every parent equals the sum of its children."""
+        for node in self.root.walk():
+            if node.children:
+                children_total = sum(child.usage for child in node.children)
+                if node.usage != children_total:
+                    raise AssertionError(
+                        f"rollup broken at {node.name!r}: {node.usage} != "
+                        f"sum(children) {children_total}"
+                    )
+
+
+@dataclass(frozen=True)
+class TeamOperation:
+    """A team-attributed operation, pre-compilation."""
+
+    time: float
+    team: str
+    kind: RequestKind
+    amount: int = 1
+
+
+def compile_team_operations(
+    hierarchy: OrgHierarchy, team_operations: Sequence[TeamOperation]
+) -> list[tuple[TeamOperation, Operation]]:
+    """Compile team activity into root-entity client operations.
+
+    Every team's acquire/release becomes an operation against the single
+    root entity — this is precisely how a hierarchy of moderate per-team
+    rates concentrates into one hot aggregate.  Returns (team op, client
+    op) pairs so callers can correlate responses back to teams.
+    """
+    team_names = {team.name for team in hierarchy.teams()}
+    compiled = []
+    for team_operation in sorted(team_operations, key=lambda op: op.time):
+        if team_operation.team not in team_names:
+            raise ValueError(f"unknown team {team_operation.team!r}")
+        compiled.append(
+            (
+                team_operation,
+                Operation(team_operation.time, team_operation.kind, team_operation.amount),
+            )
+        )
+    return compiled

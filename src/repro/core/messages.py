@@ -1,0 +1,154 @@
+"""Wire messages exchanged by Samya sites.
+
+Protocol messages mirror Algorithm 1's five phases plus the extra
+messages Avantan[*] needs (participant-set notification, recovery
+queries, aborts) and the read-path token-info exchange of §5.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.avantan.state import AcceptValue, Ballot
+from repro.core.entity import SiteTokenState
+from repro.core.requests import ClientRequest, ClientResponse
+
+
+# -- client <-> app manager <-> site -------------------------------------
+
+
+@dataclass
+class ForwardedRequest:
+    """App manager -> site: a relayed client request."""
+
+    request: ClientRequest
+    reply_to: str  # app manager name
+
+
+@dataclass
+class SiteResponse:
+    """Site -> app manager: the outcome for a relayed request."""
+
+    response: ClientResponse
+
+
+# -- Avantan phases (Algorithm 1) -----------------------------------------
+
+
+@dataclass
+class ElectionGetValue:
+    """Phase 1a: leader election + value collection."""
+
+    ballot: Ballot
+    entity_id: str
+
+
+@dataclass
+class ElectionOkValue:
+    """Phase 1b: cohort's promise carrying its InitVal and recovery info.
+
+    ``applied_ids`` / ``recently_applied`` extend Algorithm 1: they reveal
+    what the responder has already applied so a new leader can resolve
+    participants that missed a decided redistribution before pooling
+    their (stale) balances again.  Without this, Avantan[(n+1)/2] can
+    mint or destroy tokens across successive instances — see the
+    module docs of ``repro.core.avantan.majority``.
+    """
+
+    ballot: Ballot
+    init_val: SiteTokenState
+    accept_val: AcceptValue | None
+    accept_num: Ballot | None
+    decision: bool
+    applied_ids: tuple[Ballot, ...] = ()
+    recently_applied: tuple[AcceptValue, ...] = ()
+
+
+@dataclass
+class ElectionReject:
+    """Avantan[*] change (ii): a locked cohort refuses a concurrent leader.
+
+    Not in Algorithm 1 (a plain Paxos cohort stays silent); sending an
+    explicit reject lets the spurned leader give up quickly instead of
+    waiting for its timeout.
+    """
+
+    ballot: Ballot
+    entity_id: str
+
+
+@dataclass
+class AcceptValueMsg:
+    """Phase 2a: leader asks cohorts to accept the constructed value."""
+
+    ballot: Ballot
+    accept_val: AcceptValue
+    decision: bool
+
+
+@dataclass
+class AcceptOk:
+    """Phase 2b: cohort acknowledgment."""
+
+    ballot: Ballot
+
+
+@dataclass
+class DecisionMsg:
+    """Phase 3: asynchronous decision distribution."""
+
+    ballot: Ballot
+    accept_val: AcceptValue
+
+
+@dataclass
+class DiscardRedistribution:
+    """Avantan[*]: leader tells a site outside R_t to forget this round."""
+
+    ballot: Ballot
+
+
+@dataclass
+class AbortRedistribution:
+    """A participant learned the round is dead; everyone may safely abort."""
+
+    ballot: Ballot
+
+
+@dataclass
+class RecoveryQuery:
+    """Avantan[*] cohort recovery: ask R_t members for their state."""
+
+    ballot: Ballot
+    value_id: Ballot
+
+
+@dataclass
+class RecoveryReply:
+    """Answer to a RecoveryQuery."""
+
+    ballot: Ballot
+    value_id: Ballot
+    accept_val: AcceptValue | None
+    decision: bool
+    #: True when the responder already applied this value_id (counts as
+    #: decided even though its per-round state has been reset).
+    applied: bool
+
+
+# -- read path (§5.8) -----------------------------------------------------
+
+
+@dataclass
+class TokenInfoRequest:
+    """Read coordinator -> peers: report your TokensLeft for an entity."""
+
+    entity_id: str
+    read_id: int
+
+
+@dataclass
+class TokenInfoReply:
+    entity_id: str
+    read_id: int
+    tokens_left: int

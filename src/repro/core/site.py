@@ -1,0 +1,524 @@
+"""A Samya site: the four-module server of Fig. 2.
+
+* Request Handling Module — serves acquire/release locally (Eqs. 2-3),
+  queues requests while a redistribution is in flight, and triggers
+  proactive (Eq. 4) and reactive (Eq. 5) redistributions.
+* Prediction Module — a pluggable :class:`~repro.prediction.base.Predictor`
+  fed the site's per-epoch demand.
+* Protocol Module — an Avantan variant (majority or star).
+* Redistribution Module — a pluggable reallocation strategy
+  (Algorithm 2 by default).
+
+The site also implements the read-only transaction of §5.8 (global
+token-availability snapshot) and crash/recovery from stable storage.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from typing import Any, Callable
+
+from repro.core.avantan.majority import AvantanMajority
+from repro.core.avantan.star import AvantanStar
+from repro.core.avantan.state import AvantanState
+from repro.core.config import AvantanVariant, SamyaConfig
+from repro.core.entity import Entity, EntityState, SiteTokenState, TokenError
+from repro.core.messages import (
+    ForwardedRequest,
+    SiteResponse,
+    TokenInfoReply,
+    TokenInfoRequest,
+)
+from repro.core.reallocation import Reallocator, redistribute_tokens
+from repro.core.requests import ClientResponse, RequestKind, RequestStatus
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.regions import Region
+from repro.prediction.base import DemandHistory, Predictor
+from repro.sim.kernel import Kernel
+from repro.sim.process import Actor
+from repro.storage.store import StableStore
+
+_read_ids = itertools.count(1)
+
+
+class SamyaSite(Actor):
+    """One geo-distributed data shard holding a fraction of the tokens."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        region: Region,
+        network: Network,
+        entity: Entity,
+        initial_tokens: int,
+        config: SamyaConfig | None = None,
+        predictor: Predictor | None = None,
+        reallocator: Reallocator | None = None,
+    ) -> None:
+        super().__init__(kernel, name)
+        self.region = region
+        self.network = network
+        self.entity = entity
+        self.config = config or SamyaConfig()
+        self.state = EntityState(entity.id, initial_tokens)
+        self.predictor = predictor
+        self.reallocator = reallocator
+        self.store = StableStore(name)
+        self.history = DemandHistory()
+        self.protocol: AvantanMajority | AvantanStar | None = None
+        self.peers: list[str] = []
+
+        self._pending: deque[ForwardedRequest] = deque()
+        self._pending_ids: set[int] = set()
+        self._reads: dict[int, dict[str, Any]] = {}
+        # Request dedup: app managers re-route unanswered requests to
+        # another site when this one looks dead; if it was merely slow,
+        # the duplicate must not execute twice.
+        self._response_cache: dict[int, ClientResponse] = {}
+        self._response_order: deque[int] = deque()
+        self._busy_until = 0.0
+        self._draining = False
+        self._last_proactive_check = -math.inf
+        self._last_trigger_at = -math.inf
+        self._deferred_trigger: Any = None
+        self._epoch_event: Any = None
+
+        #: Observers notified with (site, value, granted) on every applied
+        #: redistribution — the invariant checker hooks in here.
+        self.apply_listeners: list[Callable[..., None]] = []
+
+        self.counters = {
+            "granted_acquires": 0,
+            "granted_releases": 0,
+            "acquired_tokens": 0,
+            "released_tokens": 0,
+            "rejected": 0,
+            "reads": 0,
+            "proactive_triggers": 0,
+            "reactive_triggers": 0,
+        }
+
+        network.attach(self, region)
+        self._persist_entity()
+        self._schedule_epoch()
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect(self, peer_names: list[str]) -> None:
+        """Install the protocol module once the full site set is known."""
+        self.peers = [peer for peer in peer_names if peer != self.name]
+        if self.config.variant is AvantanVariant.MAJORITY:
+            self.protocol = AvantanMajority(self, self.peers)
+        else:
+            self.protocol = AvantanStar(self, self.peers)
+        self.protocol.configure_timeouts(
+            self.config.election_timeout,
+            self.config.cohort_timeout,
+            self.config.blocked_retry_interval,
+        )
+
+    # -- message entry / service-time model -----------------------------------
+
+    def on_message(self, message: Message) -> None:
+        """Queue the message behind in-progress work, then dispatch.
+
+        The site is modelled as a single server: each message costs a
+        service time and waits behind earlier work, which is what turns
+        offered load into finite throughput and queueing latency.
+        """
+        if self.crashed:
+            return
+        cost = (
+            self.config.service_time
+            if isinstance(message.payload, ForwardedRequest)
+            else self.config.protocol_service_time
+        )
+        start = max(self.now, self._busy_until)
+        self._busy_until = start + cost
+        self.kernel.schedule(
+            self._busy_until - self.now, self._guarded, self._dispatch, (message,)
+        )
+
+    def _dispatch(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, ForwardedRequest):
+            self._handle_client(payload)
+        elif isinstance(payload, TokenInfoRequest):
+            self.network.send(
+                self.name,
+                message.src,
+                TokenInfoReply(payload.entity_id, payload.read_id, self.state.tokens_left),
+            )
+        elif isinstance(payload, TokenInfoReply):
+            self._on_token_info_reply(payload, message.src)
+        elif self.protocol is not None:
+            self.protocol.handle(payload, message.src)
+
+    # -- request handling module (steps 3-5 of §4.1.2) -------------------------
+
+    _RESPONSE_CACHE_LIMIT = 8192
+
+    def _handle_client(self, fwd: ForwardedRequest) -> None:
+        request = fwd.request
+        cached = self._response_cache.get(request.request_id)
+        if cached is not None:
+            # At-least-once delivery: replay the recorded outcome.
+            self.network.send(self.name, fwd.reply_to, SiteResponse(cached))
+            return
+        if request.request_id in self._pending_ids:
+            return  # duplicate of a queued request; one answer suffices
+        if request.kind is RequestKind.READ:
+            self._begin_read(fwd)
+            return
+        if request.kind is RequestKind.ACQUIRE:
+            # Demand = tokens asked for, counted whether or not granted.
+            self.history.record_demand(request.amount)
+        if (
+            self.protocol is not None
+            and self.protocol.active
+            and not self.protocol.degraded
+        ):
+            # §4.3: a participating site queues acquire/release requests
+            # until the protocol terminates.  A *degraded* (blocked) site
+            # instead falls through and serves best-effort from tokens
+            # beyond its pooled contribution.
+            self._queue_pending(fwd)
+            return
+        self._serve(fwd, draining=False)
+
+    def _serve(self, fwd: ForwardedRequest, draining: bool) -> None:
+        request = fwd.request
+        if request.kind is RequestKind.RELEASE:
+            self.state.release(request.amount)
+            self._persist_entity()
+            self.counters["granted_releases"] += 1
+            self.counters["released_tokens"] += request.amount
+            self._respond(fwd, RequestStatus.GRANTED)
+            return
+        if not self.config.enforce_constraint:
+            # "No Constraints" ablation (§5.5): every acquire succeeds.
+            self.counters["granted_acquires"] += 1
+            self.counters["acquired_tokens"] += request.amount
+            self._respond(fwd, RequestStatus.GRANTED)
+            return
+        if 0 < request.amount <= self._available_tokens():
+            self.state.acquire(request.amount)
+            self._persist_entity()
+            self.counters["granted_acquires"] += 1
+            self.counters["acquired_tokens"] += request.amount
+            self._respond(fwd, RequestStatus.GRANTED)
+            self._maybe_proactive()
+            return
+        # Cannot serve locally.
+        if self.config.redistribute and not draining:
+            if self.protocol is not None and self.protocol.active:
+                if self.protocol.degraded:
+                    # Blocked round: nothing more is coming; reject fast.
+                    self.counters["rejected"] += 1
+                    self._respond(fwd, RequestStatus.REJECTED)
+                    return
+                # A round is in flight; its outcome answers this request.
+                self._queue_pending(fwd)
+                return
+            can_trigger_now = (
+                self.now >= self._last_trigger_at + self.config.reactive_cooldown
+            )
+            if can_trigger_now or self.config.queue_during_cooldown:
+                # Reactive redistribution (Eq. 5): park the request and go
+                # get tokens; the queue is answered when the round ends
+                # (or when the deferred trigger fires after the cooldown).
+                self._queue_pending(fwd)
+                self._trigger("reactive")
+                return
+            # A redistribution just ran and did not leave enough tokens:
+            # the cluster is genuinely short right now.  Reject fast
+            # instead of stranding the client through the cooldown.
+        self.counters["rejected"] += 1
+        self._respond(fwd, RequestStatus.REJECTED)
+
+    def _queue_pending(self, fwd: ForwardedRequest) -> None:
+        self._pending.append(fwd)
+        self._pending_ids.add(fwd.request.request_id)
+
+    def _respond(self, fwd: ForwardedRequest, status: RequestStatus, value: int | None = None) -> None:
+        response = ClientResponse(
+            request_id=fwd.request.request_id,
+            status=status,
+            value=value,
+            served_by=self.name,
+        )
+        self._response_cache[response.request_id] = response
+        self._response_order.append(response.request_id)
+        if len(self._response_order) > self._RESPONSE_CACHE_LIMIT:
+            oldest = self._response_order.popleft()
+            self._response_cache.pop(oldest, None)
+        self.network.send(self.name, fwd.reply_to, SiteResponse(response))
+
+    # -- prediction & triggers (§4.2) -----------------------------------------
+
+    def _schedule_epoch(self) -> None:
+        self._epoch_event = self.kernel.schedule(
+            self.config.epoch_seconds, self._guarded, self._close_epoch, ()
+        )
+
+    def _close_epoch(self) -> None:
+        demand = self.history.close_epoch()
+        if self.predictor is not None:
+            self.predictor.update(demand)
+        self._schedule_epoch()
+
+    def predict_next_epoch(self) -> int:
+        """Predicted token demand for the next epoch (0 if no predictor)."""
+        if self.predictor is None or not self.config.proactive:
+            return 0
+        return max(0, math.ceil(self.predictor.forecast()))
+
+    def _maybe_proactive(self) -> None:
+        """§4.2 proactive path: after serving an acquire, check (at a
+        bounded rate) whether predicted demand exceeds local supply."""
+        if not self.config.proactive or self.predictor is None:
+            return
+        if not self.config.redistribute or self._draining:
+            return
+        if self.protocol is None or self.protocol.active:
+            return
+        if self.now - self._last_proactive_check < self.config.proactive_check_interval:
+            return
+        self._last_proactive_check = self.now
+        if self.predict_next_epoch() > self.state.tokens_left:
+            self._trigger("proactive")
+
+    def _pending_acquire_deficit(self) -> int:
+        if self.config.reactive_wanted_literal:
+            # Eq. 5 verbatim: ask only for the first unservable request.
+            for fwd in self._pending:
+                if fwd.request.kind is RequestKind.ACQUIRE:
+                    return fwd.request.amount
+            return 0
+        pending_demand = sum(
+            fwd.request.amount
+            for fwd in self._pending
+            if fwd.request.kind is RequestKind.ACQUIRE
+        )
+        return max(0, pending_demand - self.state.tokens_left)
+
+    def _trigger(self, reason: str) -> None:
+        if self.protocol is None or self.protocol.active:
+            return
+        cooldown = (
+            self.config.redistribution_cooldown
+            if reason == "proactive"
+            else self.config.reactive_cooldown
+        )
+        next_allowed = self._last_trigger_at + cooldown
+        if self.now < next_allowed:
+            if self._deferred_trigger is None:
+                self._deferred_trigger = self.kernel.schedule(
+                    next_allowed - self.now,
+                    self._guarded,
+                    self._fire_deferred_trigger,
+                    (reason,),
+                )
+            return
+        self._last_trigger_at = self.now
+        if self.protocol.trigger():
+            self.counters[f"{reason}_triggers"] += 1
+
+    def _fire_deferred_trigger(self, reason: str) -> None:
+        self._deferred_trigger = None
+        # Re-validate: the need may have been satisfied in the meantime.
+        still_needed = self._pending_acquire_deficit() > 0 or (
+            self.predict_next_epoch() > self.state.tokens_left
+        )
+        if still_needed:
+            self._trigger(reason)
+
+    # -- AvantanHost callbacks --------------------------------------------------
+
+    def snapshot_init_val(self) -> SiteTokenState:
+        """Recompute TokensWanted (Algorithm 1 lines 9-12, generalized to
+        also cover queued reactive demand and the want horizon) and
+        snapshot the state."""
+        wanted = 0
+        horizon_demand = math.ceil(
+            self.predict_next_epoch() * self.config.want_horizon_epochs
+        )
+        if horizon_demand > self.state.tokens_left:
+            wanted = horizon_demand - self.state.tokens_left
+        wanted = max(wanted, self._pending_acquire_deficit())
+        self.state.tokens_wanted = wanted
+        return self.state.snapshot(self.name)
+
+    def apply_redistribution(self, value) -> None:
+        proto_state = self.protocol.state if self.protocol is not None else None
+        if proto_state is not None:
+            if value.value_id in proto_state.applied:
+                return
+            proto_state.applied.add(value.value_id)
+            if len(proto_state.applied) > 256:
+                proto_state.applied.discard(min(proto_state.applied))
+            proto_state.remember_applied_value(value)
+        mine = value.state_of(self.name)
+        granted: dict[str, int] | None = None
+        if mine is not None:
+            granted = redistribute_tokens(list(value.states), self.reallocator)
+            # Delta form: the grant replaces the pooled contribution but
+            # keeps anything earned since pooling (releases accepted while
+            # the site served in degraded mode).  In normal operation the
+            # balance is frozen during the round, so surplus == 0.
+            surplus = self.state.tokens_left - mine.tokens_left
+            if surplus < 0:
+                raise TokenError(
+                    f"{self.name} spent below its pooled contribution "
+                    f"({self.state.tokens_left} < {mine.tokens_left}) — "
+                    f"reserve accounting is broken"
+                )
+            self.state.tokens_left = granted[self.name] + surplus
+            self.state.tokens_wanted = 0
+        self._persist_entity()
+        if proto_state is not None:
+            self.persist_protocol(proto_state)
+        for listener in self.apply_listeners:
+            listener(self, value, granted)
+
+    def _reserved_tokens(self) -> int:
+        """Tokens pooled in an unresolved round — untouchable until the
+        round decides or aborts, because a decision replaces them."""
+        if self.protocol is None or not self.protocol.active:
+            return 0
+        state = self.protocol.state
+        reserved = 0
+        if state.init_val is not None:
+            reserved = state.init_val.tokens_left
+        if state.accept_val is not None:
+            mine = state.accept_val.state_of(self.name)
+            if mine is not None:
+                reserved = max(reserved, mine.tokens_left)
+        return reserved
+
+    def _available_tokens(self) -> int:
+        return self.state.tokens_left - self._reserved_tokens()
+
+    def on_protocol_degraded(self) -> None:
+        """The round is blocked: answer the queue best-effort now rather
+        than holding clients hostage to an unreachable majority."""
+        self._draining = True
+        try:
+            while self._pending:
+                fwd = self._pending.popleft()
+                self._pending_ids.discard(fwd.request.request_id)
+                self._serve(fwd, draining=True)
+        finally:
+            self._draining = False
+
+    def on_protocol_idle(self) -> None:
+        """Round ended (decided or aborted): answer every queued request.
+
+        Triggers are suppressed while draining: a redistribution started
+        mid-drain would snapshot an InitVal that the rest of the drain
+        keeps mutating, leaking tokens when that stale snapshot is pooled.
+        """
+        self._draining = True
+        try:
+            while self._pending:
+                fwd = self._pending.popleft()
+                self._pending_ids.discard(fwd.request.request_id)
+                self._serve(fwd, draining=True)
+        finally:
+            self._draining = False
+        self._maybe_proactive()
+
+    def protocol_send(self, dst: str, payload: Any) -> None:
+        self.network.send(self.name, dst, payload)
+
+    def protocol_timer(self, callback):
+        return self.timer(callback)
+
+    def protocol_rng(self):
+        return self.rng()
+
+    def persist_protocol(self, state: AvantanState) -> None:
+        self.store.put("avantan", state)
+
+    # -- read transactions (§5.8) --------------------------------------------
+
+    def _begin_read(self, fwd: ForwardedRequest) -> None:
+        self.counters["reads"] += 1
+        read_id = next(_read_ids)
+        record = {
+            "fwd": fwd,
+            "replies": {self.name: self.state.tokens_left},
+            "deadline": self.kernel.schedule(
+                self.config.read_timeout, self._guarded, self._finish_read, (read_id,)
+            ),
+        }
+        self._reads[read_id] = record
+        if not self.peers:
+            self._finish_read(read_id)
+            return
+        for peer in self.peers:
+            self.network.send(
+                self.name, peer, TokenInfoRequest(fwd.request.entity_id, read_id)
+            )
+
+    def _on_token_info_reply(self, reply: TokenInfoReply, src: str) -> None:
+        record = self._reads.get(reply.read_id)
+        if record is None:
+            return  # read already answered (timeout) or lost to a crash
+        record["replies"][src] = reply.tokens_left
+        if len(record["replies"]) == len(self.peers) + 1:
+            self._finish_read(reply.read_id)
+
+    def _finish_read(self, read_id: int) -> None:
+        record = self._reads.pop(read_id, None)
+        if record is None:
+            return
+        record["deadline"].cancel()
+        total = sum(record["replies"].values())
+        self._respond(record["fwd"], RequestStatus.GRANTED, value=total)
+
+    # -- durability -------------------------------------------------------------
+
+    def _persist_entity(self) -> None:
+        self.store.put(
+            "entity", (self.state.tokens_left, self.state.tokens_wanted)
+        )
+
+    def crash(self) -> None:
+        super().crash()
+        if self.protocol is not None:
+            self.protocol.on_crash()
+        # Volatile state evaporates: queued requests and reads are lost
+        # (their clients simply never hear back).
+        self._pending.clear()
+        self._pending_ids.clear()
+        self._reads.clear()
+        self._deferred_trigger = None
+
+    def recover(self) -> None:
+        super().recover()
+        self._busy_until = self.now
+        stored = self.store.get("entity")
+        if stored is not None:
+            tokens_left, tokens_wanted = stored
+            self.state.tokens_left = tokens_left
+            self.state.tokens_wanted = tokens_wanted
+        proto_state = self.store.get("avantan")
+        if self.protocol is not None and proto_state is not None:
+            self.protocol.on_recover(proto_state)
+        self._schedule_epoch()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def tokens_left(self) -> int:
+        return self.state.tokens_left
+
+    def redistribution_stats(self) -> dict[str, int]:
+        stats = self.protocol.stats.as_dict() if self.protocol is not None else {}
+        stats.update(self.counters)
+        return stats

@@ -1,0 +1,25 @@
+"""Experiment harness: build, run, and report paper experiments.
+
+Each benchmark in ``benchmarks/`` is a thin wrapper over
+:func:`run_experiment` with the parameters of one table or figure.
+"""
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_experiment,
+    run_experiment,
+)
+from repro.harness.scenarios import RegionFault, resolve_faults
+from repro.harness.report import format_table, format_series
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_experiment",
+    "run_experiment",
+    "RegionFault",
+    "resolve_faults",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,435 @@
+"""Build and run one experiment: system + workload + faults + metrics.
+
+This is the programmatic equivalent of the paper's GCP deployment
+scripts.  ``ExperimentConfig`` holds every knob a table or figure
+varies; ``run_experiment`` returns an ``ExperimentResult`` with the
+measurements the paper reports (commit-latency percentiles, throughput,
+redistribution counts) plus safety-audit results the paper asserts
+implicitly (token conservation, Eq. 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.baselines.crdb import CockroachLikeCluster
+from repro.baselines.demarcation import DemarcationCluster, EscrowConservationChecker
+from repro.baselines.multipaxsys import MultiPaxSysCluster
+from repro.core.client import WorkloadClient
+from repro.core.cluster import SamyaCluster
+from repro.core.config import AvantanVariant, SamyaConfig
+from repro.core.entity import Entity
+from repro.core.reallocation import (
+    EqualSplitReallocator,
+    GreedyMaxUsageReallocator,
+    ProportionalReallocator,
+)
+from repro.harness.scenarios import RegionFault, resolve_faults
+from repro.metrics.hub import MetricsHub
+from repro.metrics.invariants import ConservationChecker
+from repro.metrics.latency import LatencySummary
+from repro.net.faults import CrashController
+from repro.net.network import Network, NetworkConfig
+from repro.net.regions import MULTIPAXSYS_REGIONS, PAPER_REGIONS, Region
+from repro.prediction.arima import ArimaPredictor
+from repro.prediction.lstm import LstmPredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.prediction.random_walk import RandomWalkPredictor
+from repro.prediction.seasonal import SeasonalNaivePredictor
+from repro.sim.kernel import Kernel
+from repro.workload.readwrite import mix_reads
+from repro.workload.requests import (
+    demand_per_compressed_interval,
+    regional_operations,
+)
+from repro.workload.trace import SyntheticAzureTrace, TraceConfig
+
+SYSTEMS = (
+    "samya-majority",
+    "samya-star",
+    "multipaxsys",
+    "crdb",
+    "demarcation",
+)
+
+PREDICTORS = ("none", "seasonal", "random-walk", "arima", "lstm", "oracle")
+
+REALLOCATORS = {
+    "greedy": GreedyMaxUsageReallocator,
+    "proportional": ProportionalReallocator,
+    "equal-split": EqualSplitReallocator,
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything one run needs; defaults follow §5.2."""
+
+    system: str = "samya-majority"
+    duration: float = 600.0
+    regions: tuple[Region, ...] = tuple(PAPER_REGIONS)
+    sites_per_region: int = 1
+    maximum: int = 5000
+    entity_id: str = "VM"
+    seed: int = 1
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    #: §5.1.2 compression: 300 s intervals replayed in this many seconds.
+    compressed_interval: float = 5.0
+    #: Trace interval at which the run's load window begins.  The default
+    #: window (from 03:00 of day 1) covers the Australia and Asia daily
+    #: peaks within a 600 s run.
+    start_interval: int = 36
+    demand_scale: float = 1.0
+    read_ratio: float = 0.0
+    predictor: str = "seasonal"
+    #: Historical intervals fed to each site's predictor before the run.
+    pretrain_intervals: int = 1152
+    loss_probability: float = 0.0
+    faults: tuple[RegionFault, ...] = ()
+    #: Per-client in-flight window (None = unbounded open loop).
+    max_outstanding: int | None = 8
+    enforce_constraint: bool = True
+    redistribute: bool = True
+    proactive: bool = True
+    #: Run reactive redistributions exactly as the paper describes them
+    #: (Eq. 5's TokensWanted = m, queue through cooldowns).  The default
+    #: False uses the engineering improvements described in
+    #: repro.core.config; Fig. 3f contrasts the two.
+    paper_literal_reactive: bool = False
+    reallocator: str = "greedy"
+    #: "even" splits M_e equally across sites (the paper's default);
+    #: "historic" weights each region by its recent mean demand
+    #: (§5.2's uneven-start option).
+    initial_allocation: str = "even"
+    bucket_seconds: float = 1.0
+    check_invariants: bool = True
+    invariant_interval: float = 20.0
+    #: Sites' prediction epoch; defaults to the compressed interval.
+    epoch_seconds: float | None = None
+    #: Deploy MultiPaxSys replicas in the 5 paper regions instead of the
+    #: Spanner-style 3-US placement (used by the failure experiments,
+    #: which crash/partition whole regions).
+    multipaxsys_paper_regions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; pick from {SYSTEMS}")
+        if self.predictor not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; pick from {PREDICTORS}"
+            )
+        if self.reallocator not in REALLOCATORS:
+            raise ValueError(
+                f"unknown reallocator {self.reallocator!r}; "
+                f"pick from {tuple(REALLOCATORS)}"
+            )
+        if self.initial_allocation not in ("even", "historic"):
+            raise ValueError(
+                f"unknown initial_allocation {self.initial_allocation!r}"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """What one run measured."""
+
+    system: str
+    duration: float
+    committed: int
+    committed_reads: int
+    rejected: int
+    failed: int
+    shed: int
+    unanswered: int
+    latency: LatencySummary
+    read_latency: LatencySummary
+    throughput_series: list[tuple[float, float]]
+    redistributions: dict[str, int]
+    #: Per-round protocol trace summary (Samya systems only).
+    rounds: dict[str, float]
+    tokens_left_total: int | None
+    invariant_checks: int
+
+    @property
+    def committed_total(self) -> int:
+        return self.committed + self.committed_reads
+
+    @property
+    def throughput_avg(self) -> float:
+        return self.committed_total / self.duration if self.duration > 0 else 0.0
+
+
+class Experiment:
+    """A built, not-yet-run experiment; exposes internals for tests."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.kernel = Kernel(seed=config.seed)
+        self.network = Network(
+            self.kernel, NetworkConfig(loss_probability=config.loss_probability)
+        )
+        self.trace = SyntheticAzureTrace(config.trace)
+        self.entity = Entity(config.entity_id, config.maximum)
+        self.metrics = MetricsHub(config.bucket_seconds)
+        self.clients: list[WorkloadClient] = []
+        self.checker: ConservationChecker | None = None
+        self.cluster = self._build_cluster()
+        self.servers = self._servers()
+        self._add_clients()
+        self._controller = CrashController(self.kernel, self.network)
+        self._install_faults()
+
+    # -- system construction ------------------------------------------------
+
+    def _samya_config(self) -> SamyaConfig:
+        config = self.config
+        variant = (
+            AvantanVariant.MAJORITY
+            if config.system == "samya-majority"
+            else AvantanVariant.STAR
+        )
+        return SamyaConfig(
+            variant=variant,
+            epoch_seconds=config.epoch_seconds or config.compressed_interval,
+            enforce_constraint=config.enforce_constraint,
+            redistribute=config.redistribute,
+            proactive=config.proactive and config.predictor != "none",
+            reactive_wanted_literal=config.paper_literal_reactive,
+            queue_during_cooldown=config.paper_literal_reactive,
+            reactive_cooldown=(
+                1.0 if config.paper_literal_reactive else 5.0
+            ),
+        )
+
+    def _make_predictor(self, region: Region, replica: int):
+        config = self.config
+        if config.predictor == "none":
+            return None
+        series = demand_per_compressed_interval(self.trace, region).astype(float)
+        if config.demand_scale != 1.0:
+            series = series * config.demand_scale
+        if config.sites_per_region > 1:
+            # Load in a region splits across its sites.
+            series = series / config.sites_per_region
+        per_day = self.trace.config.intervals_per_day
+        # Sites observe demand per *epoch*; when the epoch spans several
+        # trace intervals, pretraining data must be binned to match.
+        epoch = config.epoch_seconds or config.compressed_interval
+        bin_size = max(1, int(round(epoch / config.compressed_interval)))
+        if bin_size > 1:
+            usable = (len(series) // bin_size) * bin_size
+            series = series[:usable].reshape(-1, bin_size).sum(axis=1)
+            per_day = max(1, per_day // bin_size)
+        n = len(series)
+        start_bin = config.start_interval // bin_size
+        pretrain_bins = max(8, config.pretrain_intervals // bin_size)
+        history_idx = (
+            start_bin - pretrain_bins + np.arange(pretrain_bins)
+        ) % n
+        history = list(series[history_idx])
+        if config.predictor == "seasonal":
+            predictor = SeasonalNaivePredictor(period=per_day, seasons=2)
+            predictor.fit(history)
+        elif config.predictor == "random-walk":
+            predictor = RandomWalkPredictor()
+            predictor.fit(history)
+        elif config.predictor == "arima":
+            predictor = ArimaPredictor()
+            predictor.fit(history)
+        elif config.predictor == "lstm":
+            predictor = LstmPredictor(periods=(per_day,), seed=config.seed)
+            predictor.fit(history)
+        elif config.predictor == "oracle":
+            horizon = int(np.ceil(config.duration / epoch)) + 2
+            future_idx = (start_bin + np.arange(horizon)) % n
+            predictor = OraclePredictor(list(series[future_idx]))
+        else:  # pragma: no cover - guarded by __post_init__
+            raise AssertionError(config.predictor)
+        return predictor
+
+    def _build_cluster(self):
+        config = self.config
+        if config.system in ("samya-majority", "samya-star"):
+            allocation = None
+            if config.initial_allocation == "historic":
+                from repro.workload.allocation import historic_allocation
+
+                per_region = historic_allocation(
+                    self.trace,
+                    list(config.regions),
+                    config.maximum,
+                    end_interval=config.start_interval,
+                )
+                # SamyaCluster places one site per region per replica
+                # rank; split each region's share across its replicas.
+                from repro.workload.allocation import proportional_split
+
+                allocation = []
+                for replica in range(config.sites_per_region):
+                    for index in range(len(config.regions)):
+                        shares = proportional_split(
+                            per_region[index], [1.0] * config.sites_per_region
+                        )
+                        allocation.append(shares[replica])
+            cluster = SamyaCluster(
+                kernel=self.kernel,
+                network=self.network,
+                entity=self.entity,
+                regions=config.regions,
+                sites_per_region=config.sites_per_region,
+                config=self._samya_config(),
+                predictor_factory=self._make_predictor,
+                reallocator=REALLOCATORS[config.reallocator](),
+                initial_allocation=allocation,
+            )
+            if config.check_invariants and config.enforce_constraint:
+                self.checker = ConservationChecker(config.maximum)
+                self.checker.watch(cluster.sites)
+            return cluster
+        if config.system == "multipaxsys":
+            replica_regions = (
+                config.regions
+                if config.multipaxsys_paper_regions
+                else MULTIPAXSYS_REGIONS
+            )
+            return MultiPaxSysCluster(
+                kernel=self.kernel,
+                network=self.network,
+                entity=self.entity,
+                client_regions=config.regions,
+                replica_regions=replica_regions,
+            )
+        if config.system == "crdb":
+            return CockroachLikeCluster(
+                kernel=self.kernel,
+                network=self.network,
+                entity=self.entity,
+                client_regions=config.regions,
+                replica_regions=config.regions,
+            )
+        if config.system == "demarcation":
+            cluster = DemarcationCluster(
+                kernel=self.kernel,
+                network=self.network,
+                entity=self.entity,
+                regions=config.regions,
+            )
+            if config.check_invariants:
+                self.checker = EscrowConservationChecker(config.maximum)
+                self.checker._sites = cluster.sites
+            return cluster
+        raise AssertionError(config.system)  # pragma: no cover
+
+    def _servers(self) -> list:
+        if hasattr(self.cluster, "sites"):
+            return list(self.cluster.sites)
+        return list(self.cluster.replicas)
+
+    # -- workload ----------------------------------------------------------------
+
+    def _add_clients(self) -> None:
+        config = self.config
+        per_region = regional_operations(
+            self.trace,
+            list(config.regions),
+            duration=config.duration,
+            compressed_interval=config.compressed_interval,
+            seed=config.seed,
+            start_interval=config.start_interval,
+            demand_scale=config.demand_scale,
+        )
+        for region, operations in per_region.items():
+            if config.read_ratio > 0.0:
+                rng = random.Random(f"reads:{config.seed}:{region.value}")
+                operations = mix_reads(operations, config.read_ratio, rng)
+            client = self.cluster.add_client(region, operations, metrics=self.metrics)
+            client.max_outstanding = config.max_outstanding
+            self.clients.append(client)
+
+    # -- faults ------------------------------------------------------------------
+
+    def _install_faults(self) -> None:
+        config = self.config
+        for actor in self.servers + self.clients + list(
+            self.cluster.app_managers.values()
+        ):
+            self._controller.register(actor)
+        if not config.faults:
+            return
+        servers_by_region: dict[Region, list[str]] = {}
+        for server in self.servers:
+            servers_by_region.setdefault(server.region, []).append(server.name)
+        clients_by_region: dict[Region, list[str]] = {}
+        for client in self.clients:
+            clients_by_region.setdefault(client.region, []).append(client.name)
+        extras = {
+            region: [manager.name]
+            for region, manager in self.cluster.app_managers.items()
+        }
+        schedule = resolve_faults(
+            list(config.faults), servers_by_region, clients_by_region, extras
+        )
+        self._controller.install(schedule)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        config = self.config
+        if self.checker is not None and config.invariant_interval > 0:
+            self.checker.install_periodic(
+                self.kernel, config.invariant_interval, config.duration
+            )
+        self.cluster.start()
+        self.kernel.run(until=config.duration)
+        if self.checker is not None:
+            self.checker.check()
+        tokens_left = None
+        if hasattr(self.cluster, "sites"):
+            tokens_left = sum(site.state.tokens_left for site in self.cluster.sites)
+        redistributions = (
+            self.cluster.redistribution_totals()
+            if hasattr(self.cluster, "redistribution_totals")
+            else {}
+        )
+        rounds = (
+            self.cluster.round_summary().as_dict()
+            if hasattr(self.cluster, "round_summary")
+            else {}
+        )
+        return ExperimentResult(
+            system=config.system,
+            duration=config.duration,
+            committed=self.metrics.committed,
+            committed_reads=self.metrics.committed_reads,
+            rejected=self.metrics.rejected,
+            failed=self.metrics.failed,
+            shed=sum(client.shed for client in self.clients),
+            unanswered=sum(client.unanswered() for client in self.clients),
+            latency=self.metrics.latency_summary(),
+            read_latency=self.metrics.read_latency_summary(),
+            throughput_series=self.metrics.throughput.series(0.0, config.duration),
+            redistributions=redistributions,
+            rounds=rounds,
+            tokens_left_total=tokens_left,
+            invariant_checks=self.checker.checks if self.checker else 0,
+        )
+
+
+def build_experiment(config: ExperimentConfig) -> Experiment:
+    return Experiment(config)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    return Experiment(config).run()
+
+
+def variant_configs(base: ExperimentConfig) -> dict[str, ExperimentConfig]:
+    """The two Samya variants with otherwise identical parameters —
+    most figures plot both."""
+    return {
+        "samya-majority": replace(base, system="samya-majority"),
+        "samya-star": replace(base, system="samya-star"),
+    }

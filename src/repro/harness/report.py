@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+Benchmarks print the same rows/series the paper reports so a reader can
+diff shapes side by side with the PDF.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+    x_label: str = "t",
+    y_label: str = "value",
+    max_points: int = 40,
+    bar_width: int = 40,
+) -> str:
+    """Render a time series as an ASCII bar chart (the 'figure')."""
+    if not points:
+        return f"{title}\n(no data)"
+    stride = max(1, len(points) // max_points)
+    sampled = points[::stride]
+    peak = max(value for _, value in sampled) or 1.0
+    lines = [title] if title else []
+    lines.append(f"{x_label:>10}  {y_label}")
+    for x, value in sampled:
+        bar = "#" * int(round(bar_width * value / peak))
+        lines.append(f"{x:>10.1f}  {bar} {value:.1f}")
+    return "\n".join(lines)
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b with a guard for empty baselines."""
+    return a / b if b else float("inf")

@@ -1,0 +1,102 @@
+"""Fault scenarios expressed over regions, resolved to actor names.
+
+The failure experiments of §5.4 are region-level: "both the site and the
+client in a region is crashed" (§5.4.1), "a 3-2 network partition"
+(§5.4.2).  A :class:`RegionFault` captures that intent; resolution maps
+it onto the concrete actor names of whichever system is under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.faults import FaultSchedule
+from repro.net.regions import Region
+
+
+@dataclass(frozen=True)
+class RegionFault:
+    """One region-level fault action.
+
+    ``action``: ``"crash"`` / ``"recover"`` (uses ``regions``) or
+    ``"partition"`` / ``"heal"`` (uses ``groups``).
+    """
+
+    time: float
+    action: str
+    regions: tuple[Region, ...] = ()
+    groups: tuple[tuple[Region, ...], ...] = ()
+    include_clients: bool = True
+
+
+def progressive_region_crashes(
+    regions: list[Region], first_at: float, every: float
+) -> list[RegionFault]:
+    """The §5.4.1 schedule: crash one region at a time until one is left."""
+    return [
+        RegionFault(first_at + index * every, "crash", (region,))
+        for index, region in enumerate(regions[:-1])
+    ]
+
+
+def partition_3_2(
+    regions: list[Region], at: float, heal_at: float | None = None
+) -> list[RegionFault]:
+    """The §5.4.2 schedule: split 3 regions from the other 2."""
+    if len(regions) < 5:
+        raise ValueError("3-2 partition needs at least 5 regions")
+    faults = [
+        RegionFault(
+            at, "partition", groups=(tuple(regions[:3]), tuple(regions[3:]))
+        )
+    ]
+    if heal_at is not None:
+        faults.append(RegionFault(heal_at, "heal"))
+    return faults
+
+
+def resolve_faults(
+    faults: list[RegionFault],
+    servers_by_region: dict[Region, list[str]],
+    clients_by_region: dict[Region, list[str]],
+    extra_by_region: dict[Region, list[str]] | None = None,
+) -> FaultSchedule:
+    """Translate region-level faults into a concrete actor schedule.
+
+    ``extra_by_region`` covers co-located infrastructure (app managers)
+    that partitions must cut off along with their region's servers.
+    """
+    schedule = FaultSchedule()
+    extras = extra_by_region or {}
+
+    def names_for(region: Region, include_clients: bool) -> list[str]:
+        names = list(servers_by_region.get(region, []))
+        names.extend(extras.get(region, []))
+        if include_clients:
+            names.extend(clients_by_region.get(region, []))
+        return names
+
+    for fault in sorted(faults, key=lambda f: f.time):
+        if fault.action in ("crash", "recover"):
+            targets: list[str] = []
+            for region in fault.regions:
+                targets.extend(names_for(region, fault.include_clients))
+            if fault.action == "crash":
+                schedule.crash(fault.time, *targets)
+            else:
+                schedule.recover(fault.time, *targets)
+        elif fault.action == "partition":
+            groups = tuple(
+                tuple(
+                    name
+                    for region in group
+                    for name in names_for(region, include_clients=True)
+                )
+                for group in fault.groups
+            )
+            schedule.partition(fault.time, *groups)
+        elif fault.action == "heal":
+            schedule.heal(fault.time)
+        else:
+            raise ValueError(f"unknown region fault action {fault.action!r}")
+    return schedule

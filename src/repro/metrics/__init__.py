@@ -1,0 +1,20 @@
+"""Measurement: commit latency, throughput series, and safety invariants.
+
+All timestamps are simulated time, so results are exact and host-speed
+independent.  Throughput counts only *granted* acquire/release requests,
+matching §5's definition; latency is the client-observed commit latency.
+"""
+
+from repro.metrics.latency import LatencySummary, percentile
+from repro.metrics.throughput import ThroughputSeries
+from repro.metrics.hub import MetricsHub
+from repro.metrics.invariants import ConservationChecker, InvariantViolation
+
+__all__ = [
+    "LatencySummary",
+    "percentile",
+    "ThroughputSeries",
+    "MetricsHub",
+    "ConservationChecker",
+    "InvariantViolation",
+]

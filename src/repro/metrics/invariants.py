@@ -1,0 +1,117 @@
+"""Safety invariant checking for Samya deployments.
+
+The paper's system-level constraint (Eq. 1) is that clients never
+collectively hold more than M_e tokens.  Combined with per-site
+non-negative balances, that is equivalent to global conservation:
+
+    sum(settled tokens at sites) + tokens held by clients == M_e
+
+"Settled" handles the one legal transient: between a redistribution's
+decision and its application at every participant, an already-applied
+site holds its new share while a not-yet-applied (frozen) participant
+still shows its pooled balance.  The checker resolves the transient by
+substituting the decided grant for every participant that has not
+applied yet, so any *real* leak or double-spend still trips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class InvariantViolation(AssertionError):
+    """A safety property of the system was broken."""
+
+
+@dataclass
+class _ValueRecord:
+    participants: tuple[str, ...]
+    granted: dict[str, int]
+    #: What each participant pooled into the value (its InitVal balance).
+    pooled: dict[str, int]
+    applied_by: set[str] = field(default_factory=set)
+
+
+class ConservationChecker:
+    """Hooks into sites' apply listeners and audits global token counts."""
+
+    def __init__(self, maximum: int) -> None:
+        self.maximum = maximum
+        self._sites: list = []
+        self._values: dict[object, _ValueRecord] = {}
+        self.checks = 0
+
+    def watch(self, sites: list) -> None:
+        self._sites = list(sites)
+        for site in sites:
+            site.apply_listeners.append(self._on_apply)
+
+    def _on_apply(self, site, value, granted) -> None:
+        record = self._values.get(value.value_id)
+        if record is None:
+            if granted is None:
+                # A non-participant stored/learned the value; nothing moved.
+                return
+            record = _ValueRecord(
+                value.participants,
+                dict(granted),
+                {state.site_id: state.tokens_left for state in value.states},
+            )
+            self._values[value.value_id] = record
+        if granted is not None and record.granted != granted:
+            raise InvariantViolation(
+                f"sites disagree on the allocation of {value.value_id}: "
+                f"{record.granted} vs {granted} — Avantan agreement broken"
+            )
+        record.applied_by.add(site.name)
+
+    # -- the audit ---------------------------------------------------------
+
+    def settled_tokens(self) -> int:
+        """Sum of per-site balances with in-flight grants substituted.
+
+        For a participant that has not applied a decided value yet, the
+        settled balance is its decided grant plus whatever it earned on
+        top of its pooled contribution since (degraded-mode releases) —
+        the same delta rule the site itself will apply.
+        """
+        adjust: dict[str, int] = {}
+        for record in self._values.values():
+            missing = set(record.participants) - record.applied_by
+            for name in missing:
+                adjust[name] = record.granted.get(name, 0) - record.pooled.get(name, 0)
+        total = 0
+        for site in self._sites:
+            total += site.state.tokens_left + adjust.get(site.name, 0)
+        return total
+
+    def outstanding_tokens(self) -> int:
+        """Tokens currently held by clients, from the sites' ledgers."""
+        acquired = sum(site.counters["acquired_tokens"] for site in self._sites)
+        released = sum(site.counters["released_tokens"] for site in self._sites)
+        return acquired - released
+
+    def check(self) -> None:
+        """Assert conservation and the Eq. 1 constraint right now."""
+        self.checks += 1
+        settled = self.settled_tokens()
+        outstanding = self.outstanding_tokens()
+        if settled + outstanding != self.maximum:
+            raise InvariantViolation(
+                f"token conservation broken: {settled} at sites + "
+                f"{outstanding} held by clients != M_e={self.maximum}"
+            )
+        if outstanding > self.maximum or outstanding < 0:
+            raise InvariantViolation(
+                f"Eq. 1 violated: clients hold {outstanding} of {self.maximum}"
+            )
+
+    def install_periodic(self, kernel, interval: float, until: float) -> None:
+        """Schedule repeated audits during a run."""
+
+        def audit(time: float) -> None:
+            self.check()
+            if time + interval <= until:
+                kernel.schedule(interval, audit, time + interval)
+
+        kernel.schedule(interval, audit, interval)

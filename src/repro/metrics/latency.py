@@ -1,0 +1,59 @@
+"""Commit-latency recording and percentile summaries (Table 2b)."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100].
+
+    Nearest-rank (rather than interpolation) is what most latency tooling
+    reports and it is well-defined for small sample counts.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p90=percentile(samples, 90),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            maximum=max(samples),
+        )
+
+    def row_ms(self) -> dict[str, float]:
+        """Percentiles in milliseconds, as Table 2b prints them."""
+        return {
+            "p90": self.p90 * 1000.0,
+            "p95": self.p95 * 1000.0,
+            "p99": self.p99 * 1000.0,
+        }

@@ -1,0 +1,94 @@
+"""Fault injection: scheduled crashes, recoveries, and partitions.
+
+Scenarios are declarative lists of :class:`FaultEvent` applied by a
+:class:`CrashController` at their scheduled simulated times.  The failure
+experiments of §5.4 are expressed as such schedules (see
+``repro.harness.scenarios``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.process import Actor
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``action`` is one of ``"crash"``, ``"recover"``, ``"partition"``,
+    ``"heal"``.  ``targets`` names the actors to crash/recover, or for a
+    partition, ``groups`` gives the connectivity groups.
+    """
+
+    time: float
+    action: str
+    targets: tuple[str, ...] = ()
+    groups: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        valid = {"crash", "recover", "partition", "heal"}
+        if self.action not in valid:
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def crash(self, time: float, *targets: str) -> "FaultSchedule":
+        self.events.append(FaultEvent(time, "crash", tuple(targets)))
+        return self
+
+    def recover(self, time: float, *targets: str) -> "FaultSchedule":
+        self.events.append(FaultEvent(time, "recover", tuple(targets)))
+        return self
+
+    def partition(self, time: float, *groups: tuple[str, ...]) -> "FaultSchedule":
+        self.events.append(
+            FaultEvent(time, "partition", groups=tuple(tuple(g) for g in groups))
+        )
+        return self
+
+    def heal(self, time: float) -> "FaultSchedule":
+        self.events.append(FaultEvent(time, "heal"))
+        return self
+
+
+class CrashController:
+    """Applies a :class:`FaultSchedule` to a set of actors and a network."""
+
+    def __init__(self, kernel: Kernel, network: Network) -> None:
+        self.kernel = kernel
+        self.network = network
+        self._actors: dict[str, Actor] = {}
+        self.applied: list[FaultEvent] = []
+
+    def register(self, actor: Actor) -> None:
+        self._actors[actor.name] = actor
+
+    def install(self, schedule: FaultSchedule) -> None:
+        for event in schedule.events:
+            self.kernel.schedule_at(event.time, self._apply, event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        self.applied.append(event)
+        if event.action == "crash":
+            for name in event.targets:
+                actor = self._actors.get(name)
+                if actor is not None:
+                    actor.crash()
+        elif event.action == "recover":
+            for name in event.targets:
+                actor = self._actors.get(name)
+                if actor is not None:
+                    actor.recover()
+        elif event.action == "partition":
+            self.network.partitions.partition(event.groups)
+        elif event.action == "heal":
+            self.network.partitions.heal()

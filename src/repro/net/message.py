@@ -1,0 +1,27 @@
+"""The network message envelope.
+
+Payloads are plain dataclasses defined by each protocol; the envelope
+carries routing metadata and the delivery timestamp for tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Message:
+    """An envelope delivered by :class:`repro.net.network.Network`."""
+
+    src: str
+    dst: str
+    payload: Any
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        """Short payload type name, handy for dispatch and tracing."""
+        return type(self.payload).__name__

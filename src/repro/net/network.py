@@ -1,0 +1,132 @@
+"""The simulated geo-distributed network.
+
+Delivery semantics match the paper's asynchronous model (§3.1): messages
+may be delayed (base latency + lognormal jitter), dropped (configurable
+loss probability), and reordered (a consequence of jitter).  Crashed
+endpoints receive nothing; partitions block cross-group traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.net.message import Message
+from repro.net.partition import PartitionController
+from repro.net.regions import Region, one_way_latency
+from repro.sim.kernel import Kernel
+
+
+class Endpoint(Protocol):
+    """Anything attachable to the network."""
+
+    name: str
+    crashed: bool
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable delivery behaviour.
+
+    ``jitter_sigma`` is the sigma of a lognormal multiplier applied to the
+    base one-way latency (mu chosen so the multiplier's median is 1).
+    ``loss_probability`` applies independently per message.
+    """
+
+    jitter_sigma: float = 0.08
+    loss_probability: float = 0.0
+    #: Extra fixed per-message overhead (serialization, kernel) in seconds.
+    processing_overhead: float = 0.0001
+
+
+class Network:
+    """Routes messages between named endpoints with geo latencies."""
+
+    def __init__(self, kernel: Kernel, config: NetworkConfig | None = None) -> None:
+        self.kernel = kernel
+        self.config = config or NetworkConfig()
+        self.partitions = PartitionController()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._regions: dict[str, Region] = {}
+        self._rng = kernel.rng.stream("network")
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.messages_delivered = 0
+        #: Optional tap for tracing: called with every message at send time.
+        self.trace: Callable[[Message], None] | None = None
+
+    # -- registration -----------------------------------------------------
+
+    def attach(self, endpoint: Endpoint, region: Region) -> None:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already attached")
+        self._endpoints[endpoint.name] = endpoint
+        self._regions[endpoint.name] = region
+
+    def detach(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+        self._regions.pop(name, None)
+
+    def region_of(self, name: str) -> Region:
+        return self._regions[name]
+
+    def endpoints(self) -> list[str]:
+        return list(self._endpoints)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to ``dst``; best-effort delivery."""
+        self.messages_sent += 1
+        message = Message(src=src, dst=dst, payload=payload, sent_at=self.kernel.now)
+        if self.trace is not None:
+            self.trace(message)
+        if dst not in self._endpoints:
+            self.messages_dropped += 1
+            return
+        if not self.partitions.can_communicate(src, dst):
+            self.messages_dropped += 1
+            return
+        if self.config.loss_probability > 0 and (
+            self._rng.random() < self.config.loss_probability
+        ):
+            self.messages_dropped += 1
+            return
+        delay = self._sample_latency(src, dst)
+        self.kernel.schedule(delay, self._deliver, message)
+
+    def broadcast(self, src: str, dsts: list[str], payload: Any) -> None:
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    def latency(self, a: str, b: str) -> float:
+        """Base one-way latency between two attached endpoints (seconds)."""
+        return one_way_latency(self._regions[a], self._regions[b])
+
+    # -- internals ----------------------------------------------------------
+
+    def _sample_latency(self, src: str, dst: str) -> float:
+        base = one_way_latency(self._regions[src], self._regions[dst])
+        sigma = self.config.jitter_sigma
+        if sigma > 0:
+            # Lognormal multiplier with median 1: long-tailed, never negative.
+            base *= math.exp(self._rng.gauss(0.0, sigma))
+        return base + self.config.processing_overhead
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None or endpoint.crashed:
+            self.messages_dropped += 1
+            return
+        # Partitions that arise while a message is in flight still cut it off:
+        # the check at delivery time models links going dark mid-flight.
+        if not self.partitions.can_communicate(message.src, message.dst):
+            self.messages_dropped += 1
+            return
+        message.delivered_at = self.kernel.now
+        self.messages_delivered += 1
+        endpoint.on_message(message)

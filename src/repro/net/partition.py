@@ -1,0 +1,45 @@
+"""Network partition control.
+
+A partition is expressed as a grouping of endpoint names; messages cross
+group boundaries only when no partition is active.  Endpoints not named
+in any group are unreachable from everyone (fully isolated), which lets
+failure scenarios isolate a single node by partitioning it alone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class PartitionController:
+    """Tracks the active partition, if any."""
+
+    def __init__(self) -> None:
+        self._group_of: dict[str, int] | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._group_of is not None
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network into the given groups of endpoint names."""
+        group_of: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in group_of:
+                    raise ValueError(f"endpoint {name!r} appears in two groups")
+                group_of[name] = index
+        self._group_of = group_of
+
+    def heal(self) -> None:
+        """Remove the partition; full connectivity is restored."""
+        self._group_of = None
+
+    def can_communicate(self, a: str, b: str) -> bool:
+        if self._group_of is None:
+            return True
+        group_a = self._group_of.get(a)
+        group_b = self._group_of.get(b)
+        if group_a is None or group_b is None:
+            return False
+        return group_a == group_b

@@ -1,0 +1,33 @@
+"""Demand prediction (the Prediction Module of Fig. 2, §4.2 and §5.1.1).
+
+Implements the three models the paper evaluates in Table 2a —
+random walk, ARIMA, and LSTM — plus a seasonal-naive model (a cheap
+periodicity-aware default for the live system) and an oracle (knows the
+future; upper-bound ablations).  Everything is from scratch on
+NumPy/SciPy; no ML framework is available offline.
+"""
+
+from repro.prediction.base import DemandHistory, Predictor
+from repro.prediction.random_walk import RandomWalkPredictor
+from repro.prediction.seasonal import SeasonalNaivePredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.prediction.arima import ArimaPredictor
+from repro.prediction.lstm import LstmPredictor
+from repro.prediction.evaluation import (
+    PredictionReport,
+    evaluate_predictor,
+    train_test_split,
+)
+
+__all__ = [
+    "DemandHistory",
+    "Predictor",
+    "RandomWalkPredictor",
+    "SeasonalNaivePredictor",
+    "OraclePredictor",
+    "ArimaPredictor",
+    "LstmPredictor",
+    "PredictionReport",
+    "evaluate_predictor",
+    "train_test_split",
+]

@@ -1,0 +1,69 @@
+"""Predictor interface and demand-history bookkeeping.
+
+A predictor sees the per-epoch demand series one value at a time
+(:meth:`Predictor.update`) and answers "how many tokens will the next
+epoch need?" (:meth:`Predictor.forecast`).  Batch pre-training on
+historical data happens through :meth:`Predictor.fit`, mirroring the
+paper's offline training on 80% of the Azure trace.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from collections.abc import Sequence
+
+
+class Predictor(abc.ABC):
+    """Pluggable demand prediction model (Fig. 2's Prediction Module)."""
+
+    def fit(self, series: Sequence[float]) -> None:
+        """Train on historical demand.  Default: feed values one by one."""
+        for value in series:
+            self.update(value)
+
+    @abc.abstractmethod
+    def update(self, value: float) -> None:
+        """Observe the realized demand of the epoch that just ended."""
+
+    @abc.abstractmethod
+    def forecast(self) -> float:
+        """Predicted demand (tokens) for the next epoch; never negative."""
+
+
+class DemandHistory:
+    """Bounded ring buffer of per-epoch demand used by a site.
+
+    Sites count the tokens requested in the current epoch and push the
+    count at every epoch boundary; predictors consume this history.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._values: deque[float] = deque(maxlen=capacity)
+        self._current_epoch_demand = 0.0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def record_demand(self, amount: float) -> None:
+        """Accumulate demand observed inside the current epoch."""
+        self._current_epoch_demand += amount
+
+    def close_epoch(self) -> float:
+        """End the current epoch; returns the demand it accumulated."""
+        demand = self._current_epoch_demand
+        self._values.append(demand)
+        self._current_epoch_demand = 0.0
+        return demand
+
+    def last(self, count: int) -> list[float]:
+        """The ``count`` most recent closed epochs (oldest first)."""
+        if count <= 0:
+            return []
+        values = list(self._values)
+        return values[-count:]
+
+    def values(self) -> list[float]:
+        return list(self._values)

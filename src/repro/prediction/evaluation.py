@@ -1,0 +1,68 @@
+"""Predictor evaluation harness (Table 2a).
+
+Walk-forward one-step-ahead evaluation: the model is trained on the
+first 80% of the series and then, for every point of the held-out 20%,
+asked for a forecast *before* seeing the point — exactly how the live
+Prediction Module is used by a site.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.prediction.base import Predictor
+
+
+@dataclass
+class PredictionReport:
+    """Accuracy of one predictor on one held-out series."""
+
+    name: str
+    mae: float
+    rmse: float
+    predictions: list[float] = field(default_factory=list)
+    actuals: list[float] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.name}: MAE={self.mae:.2f} RMSE={self.rmse:.2f}"
+
+
+def train_test_split(
+    series: Sequence[float], train_fraction: float = 0.8
+) -> tuple[list[float], list[float]]:
+    """Chronological split (never shuffle a time series)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(len(series) * train_fraction)
+    if cut == 0 or cut == len(series):
+        raise ValueError("split leaves an empty train or test set")
+    values = list(series)
+    return values[:cut], values[cut:]
+
+
+def evaluate_predictor(
+    predictor: Predictor,
+    train: Sequence[float],
+    test: Sequence[float],
+    name: str | None = None,
+) -> PredictionReport:
+    """Fit on ``train``, then walk forward through ``test``."""
+    if not test:
+        raise ValueError("test series is empty")
+    predictor.fit(list(train))
+    predictions: list[float] = []
+    for actual in test:
+        predictions.append(predictor.forecast())
+        predictor.update(actual)
+    errors = [prediction - actual for prediction, actual in zip(predictions, test)]
+    mae = sum(abs(e) for e in errors) / len(errors)
+    rmse = math.sqrt(sum(e * e for e in errors) / len(errors))
+    return PredictionReport(
+        name=name or type(predictor).__name__,
+        mae=mae,
+        rmse=rmse,
+        predictions=predictions,
+        actuals=list(test),
+    )

@@ -1,0 +1,274 @@
+"""A from-scratch NumPy LSTM for demand forecasting (Table 2a's winner).
+
+No deep-learning framework is available offline, so the network —
+forward pass, backpropagation through time, and the Adam optimizer — is
+implemented directly on NumPy arrays.  The architecture is deliberately
+small (one LSTM layer + a linear head): the Azure-like demand series is
+low-dimensional and strongly periodic, and the paper itself calls its
+three models "simple options".
+
+Inputs per timestep are the normalized demand value plus sinusoidal
+time-of-period features (sin/cos of the daily and weekly phase), the
+standard trick that lets a short input window exploit long seasonality
+without unrolling BPTT across a whole day of samples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -50.0, 50.0)))
+
+
+class TimeFeatures:
+    """Sinusoidal encodings of the phase within each seasonal period."""
+
+    def __init__(self, periods: Sequence[int]) -> None:
+        if any(p <= 0 for p in periods):
+            raise ValueError("periods must be positive")
+        self.periods = tuple(periods)
+
+    @property
+    def width(self) -> int:
+        return 2 * len(self.periods)
+
+    def encode(self, index: int) -> np.ndarray:
+        features = np.empty(self.width)
+        for slot, period in enumerate(self.periods):
+            angle = 2.0 * math.pi * (index % period) / period
+            features[2 * slot] = math.sin(angle)
+            features[2 * slot + 1] = math.cos(angle)
+        return features
+
+
+class AdamOptimizer:
+    """Standard Adam over a dict of parameter arrays."""
+
+    def __init__(self, lr: float = 0.003, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for key, grad in grads.items():
+            if key not in self._m:
+                self._m[key] = np.zeros_like(grad)
+                self._v[key] = np.zeros_like(grad)
+            self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[key] / (1 - self.beta1**self._t)
+            v_hat = self._v[key] / (1 - self.beta2**self._t)
+            params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LstmNetwork:
+    """One LSTM layer + linear head; returns a scalar per sequence.
+
+    Gate layout inside the stacked weight matrices is ``[i, f, g, o]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.RandomState) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale_x = 1.0 / math.sqrt(input_size)
+        scale_h = 1.0 / math.sqrt(hidden_size)
+        self.params: dict[str, np.ndarray] = {
+            "Wx": rng.uniform(-scale_x, scale_x, (input_size, 4 * hidden_size)),
+            "Wh": rng.uniform(-scale_h, scale_h, (hidden_size, 4 * hidden_size)),
+            "b": np.zeros(4 * hidden_size),
+            "Wy": rng.uniform(-scale_h, scale_h, (hidden_size, 1)),
+            "by": np.zeros(1),
+        }
+        # Classic trick: bias the forget gate open at initialization.
+        self.params["b"][hidden_size : 2 * hidden_size] = 1.0
+
+    def forward(self, inputs: np.ndarray) -> tuple[np.ndarray, list[dict[str, np.ndarray]]]:
+        """``inputs`` shape (T, B, D); returns (predictions (B,), caches)."""
+        steps, batch, _ = inputs.shape
+        hidden = self.hidden_size
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        caches: list[dict[str, np.ndarray]] = []
+        for t in range(steps):
+            x = inputs[t]
+            z = x @ self.params["Wx"] + h @ self.params["Wh"] + self.params["b"]
+            i = _sigmoid(z[:, :hidden])
+            f = _sigmoid(z[:, hidden : 2 * hidden])
+            g = np.tanh(z[:, 2 * hidden : 3 * hidden])
+            o = _sigmoid(z[:, 3 * hidden :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            caches.append(
+                {"x": x, "h_prev": h, "c_prev": c, "i": i, "f": f, "g": g, "o": o,
+                 "c": c_new, "tanh_c": tanh_c}
+            )
+            h, c = h_new, c_new
+        predictions = (h @ self.params["Wy"] + self.params["by"]).reshape(-1)
+        caches.append({"h_last": h})
+        return predictions, caches
+
+    def backward(
+        self, inputs: np.ndarray, caches: list[dict[str, np.ndarray]], d_pred: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """BPTT; ``d_pred`` shape (B,) is dLoss/dPrediction."""
+        steps, batch, _ = inputs.shape
+        hidden = self.hidden_size
+        grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        h_last = caches[-1]["h_last"]
+        d_col = d_pred.reshape(-1, 1)
+        grads["Wy"] = h_last.T @ d_col
+        grads["by"] = d_col.sum(axis=0)
+        dh = d_col @ self.params["Wy"].T
+        dc = np.zeros((batch, hidden))
+        for t in range(steps - 1, -1, -1):
+            cache = caches[t]
+            o, tanh_c = cache["o"], cache["tanh_c"]
+            d_o = dh * tanh_c
+            dc = dc + dh * o * (1.0 - tanh_c * tanh_c)
+            d_i = dc * cache["g"]
+            d_g = dc * cache["i"]
+            d_f = dc * cache["c_prev"]
+            dc_prev = dc * cache["f"]
+            dz = np.concatenate(
+                [
+                    d_i * cache["i"] * (1 - cache["i"]),
+                    d_f * cache["f"] * (1 - cache["f"]),
+                    d_g * (1 - cache["g"] * cache["g"]),
+                    d_o * o * (1 - o),
+                ],
+                axis=1,
+            )
+            grads["Wx"] += cache["x"].T @ dz
+            grads["Wh"] += cache["h_prev"].T @ dz
+            grads["b"] += dz.sum(axis=0)
+            dh = dz @ self.params["Wh"].T
+            dc = dc_prev
+        return grads
+
+
+class LstmPredictor(Predictor):
+    """Windowed one-step-ahead LSTM forecaster.
+
+    ``fit`` trains on the historical series with mini-batch Adam;
+    ``forecast`` runs a single forward pass over the most recent window.
+    Deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        window: int = 32,
+        hidden_size: int = 24,
+        epochs: int = 25,
+        batch_size: int = 64,
+        learning_rate: float = 0.005,
+        grad_clip: float = 5.0,
+        periods: Sequence[int] = (288,),
+        seed: int = 13,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self.time_features = TimeFeatures(periods)
+        self._rng = np.random.RandomState(seed)
+        self.network = LstmNetwork(1 + self.time_features.width, hidden_size, self._rng)
+        self._optimizer = AdamOptimizer(lr=learning_rate)
+        self._mean = 0.0
+        self._std = 1.0
+        self._recent: deque[float] = deque(maxlen=window)
+        self._index = 0  # absolute position in the series (for phase)
+        self.trained = False
+        self.training_losses: list[float] = []
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, series: Sequence[float]) -> None:
+        values = np.asarray(series, dtype=float)
+        if len(values) < self.window + 8:
+            raise ValueError(
+                f"need at least window+8={self.window + 8} points, got {len(values)}"
+            )
+        self._mean = float(values.mean())
+        self._std = float(values.std()) or 1.0
+        inputs, targets = self._build_dataset(values)
+        samples = len(targets)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(samples)
+            epoch_loss = 0.0
+            for start in range(0, samples, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                batch_inputs = inputs[:, batch_idx, :]
+                batch_targets = targets[batch_idx]
+                predictions, caches = self.network.forward(batch_inputs)
+                error = predictions - batch_targets
+                epoch_loss += float(error @ error)
+                d_pred = 2.0 * error / len(batch_idx)
+                grads = self.network.backward(batch_inputs, caches, d_pred)
+                self._clip(grads)
+                self._optimizer.step(self.network.params, grads)
+            self.training_losses.append(epoch_loss / samples)
+        # Prime the live window with the series tail.
+        self._recent.clear()
+        for value in values[-self.window :]:
+            self._recent.append(float(value))
+        self._index = len(values)
+        self.trained = True
+
+    def _build_dataset(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Windows -> (inputs (T, N, D), targets (N,)) in normalized space."""
+        normalized = (values - self._mean) / self._std
+        count = len(values) - self.window
+        width = 1 + self.time_features.width
+        inputs = np.empty((self.window, count, width))
+        phases = np.array(
+            [self.time_features.encode(i) for i in range(len(values))]
+        )
+        for t in range(self.window):
+            inputs[t, :, 0] = normalized[t : t + count]
+            inputs[t, :, 1:] = phases[t : t + count]
+        targets = normalized[self.window :]
+        return inputs, targets
+
+    def _clip(self, grads: dict[str, np.ndarray]) -> None:
+        norm = math.sqrt(sum(float((g * g).sum()) for g in grads.values()))
+        if norm > self.grad_clip:
+            scale = self.grad_clip / norm
+            for grad in grads.values():
+                grad *= scale
+
+    # -- live use ------------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        self._recent.append(float(value))
+        self._index += 1
+
+    def forecast(self) -> float:
+        if not self.trained or len(self._recent) < self.window:
+            # Untrained fallback: random walk.
+            return max(0.0, self._recent[-1]) if self._recent else 0.0
+        values = np.array(self._recent)
+        normalized = (values - self._mean) / self._std
+        width = 1 + self.time_features.width
+        inputs = np.empty((self.window, 1, width))
+        start = self._index - self.window
+        for t in range(self.window):
+            inputs[t, 0, 0] = normalized[t]
+            inputs[t, 0, 1:] = self.time_features.encode(start + t)
+        prediction, _ = self.network.forward(inputs)
+        return max(0.0, float(prediction[0]) * self._std + self._mean)

@@ -1,0 +1,42 @@
+"""Oracle predictor: knows the true future series.
+
+Not in the paper — an ablation upper bound.  Plugging the oracle into a
+Samya site shows how much headroom better prediction could still buy
+(§4.2 says the Prediction Module is pluggable; this is the perfect
+plug-in).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.prediction.base import Predictor
+
+
+class OraclePredictor(Predictor):
+    """Returns the actual next value of a known series.
+
+    The oracle tracks its position by counting :meth:`update` calls, so
+    it stays aligned with the site's epoch clock as long as the site
+    feeds it every closed epoch (which :class:`~repro.core.site.SamyaSite`
+    does).  ``noise`` optionally degrades it into an "almost oracle".
+    """
+
+    def __init__(self, future: Sequence[float], noise: float = 0.0, seed: int = 0) -> None:
+        self._future = list(future)
+        self._position = 0
+        self._noise = noise
+        import random
+
+        self._rng = random.Random(seed)
+
+    def update(self, value: float) -> None:
+        self._position += 1
+
+    def forecast(self) -> float:
+        if self._position >= len(self._future):
+            return 0.0
+        value = self._future[self._position]
+        if self._noise > 0:
+            value *= 1.0 + self._rng.gauss(0.0, self._noise)
+        return max(0.0, value)

@@ -1,0 +1,36 @@
+"""Random-walk predictor: tomorrow looks exactly like today.
+
+The paper's baseline model (Table 2a).  Under a random-walk assumption
+the minimum-MSE one-step forecast is the last observed value; an optional
+drift term averages recent deltas, which is the textbook generalization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.prediction.base import Predictor
+
+
+class RandomWalkPredictor(Predictor):
+    """Forecast = last observation (+ optional average drift)."""
+
+    def __init__(self, drift_window: int = 0) -> None:
+        if drift_window < 0:
+            raise ValueError("drift_window must be >= 0")
+        self._last: float | None = None
+        self._drift_window = drift_window
+        self._deltas: deque[float] = deque(maxlen=max(drift_window, 1))
+
+    def update(self, value: float) -> None:
+        if self._last is not None:
+            self._deltas.append(value - self._last)
+        self._last = value
+
+    def forecast(self) -> float:
+        if self._last is None:
+            return 0.0
+        prediction = self._last
+        if self._drift_window and self._deltas:
+            prediction += sum(self._deltas) / len(self._deltas)
+        return max(0.0, prediction)

@@ -1,0 +1,48 @@
+"""Seasonal-naive predictor.
+
+Forecast = the demand observed one season (period) ago, optionally
+averaged over the last few seasons.  The Azure trace is strongly daily-
+periodic (§5.1), so this trivial model is a surprisingly strong and
+essentially free predictor — we use it as the default live Prediction
+Module in the system benchmarks, keeping LSTM training out of the hot
+path (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.prediction.base import Predictor
+
+
+class SeasonalNaivePredictor(Predictor):
+    """Forecast = mean of the values exactly k periods back, k=1..seasons."""
+
+    def __init__(self, period: int, seasons: int = 2) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if seasons <= 0:
+            raise ValueError("seasons must be positive")
+        self.period = period
+        self.seasons = seasons
+        self._history: deque[float] = deque(maxlen=period * seasons)
+        self._last: float | None = None
+
+    def update(self, value: float) -> None:
+        self._history.append(value)
+        self._last = value
+
+    def forecast(self) -> float:
+        values = list(self._history)
+        # Values one period ago, two periods ago, ... where available.
+        candidates = [
+            values[-k * self.period]
+            for k in range(1, self.seasons + 1)
+            if len(values) >= k * self.period
+        ]
+        if candidates:
+            return max(0.0, sum(candidates) / len(candidates))
+        # Not a full period of history yet: fall back to random walk.
+        if self._last is not None:
+            return max(0.0, self._last)
+        return 0.0

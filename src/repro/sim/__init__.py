@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel.
+
+This package is the execution substrate for every system in the
+reproduction.  Simulated time, not wall-clock time, is the measurement
+clock: every latency and throughput number reported by the benchmarks is
+derived from event timestamps produced here, which makes runs
+deterministic and independent of host speed (and of the Python GIL).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Kernel
+from repro.sim.process import Actor, Timer
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Event", "EventQueue", "Kernel", "Actor", "Timer", "RngRegistry"]

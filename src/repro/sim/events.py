@@ -1,0 +1,97 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a callback scheduled at a simulated timestamp.
+Events are totally ordered by ``(time, seq)`` where ``seq`` is a
+monotonically increasing tie-breaker, so two events scheduled for the
+same instant fire in scheduling order.  This determinism is load-bearing:
+protocol tests rely on identical replays for identical seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Events support O(1) cancellation: :meth:`cancel` marks the event dead
+    and the queue discards it lazily when it reaches the top of the heap.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled timers do not pin actors.
+        self.callback = _noop
+        self.args = ()
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the earliest pending event, skipping cancelled ones.
+
+        Returns ``None`` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()

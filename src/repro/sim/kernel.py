@@ -1,0 +1,84 @@
+"""The discrete-event kernel: a clock plus an event queue.
+
+All times are in **seconds** of simulated time, stored as floats.  The
+kernel is single-threaded by design; concurrency in the modelled systems
+comes from interleaving events, not from OS threads, so results are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Kernel:
+    """Owns simulated time and dispatches events in timestamp order."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self._queue = EventQueue()
+        self._events_fired = 0
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events dispatched so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} seconds in the past")
+        return self._queue.push(self.now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self.now}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def step(self) -> bool:
+        """Dispatch the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue delivered an event out of order")
+        self.now = event.time
+        self._events_fired += 1
+        event.fire()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the budget ends.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so callers can compose
+        consecutive ``run`` calls with contiguous time windows.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                return
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            fired += 1
+        if until is not None and until > self.now:
+            self.now = until

@@ -1,0 +1,91 @@
+"""Append-only write-ahead log.
+
+Used by the replicated-log baselines (multi-Paxos, Raft).  Entries are
+indexed from 1, matching the Raft paper's convention, and the log
+supports the suffix truncation Raft needs on conflicting appends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One durable log entry.
+
+    ``command`` must be immutable (frozen dataclasses by convention);
+    entries are shared between replicas' logs without copying.
+    """
+
+    index: int
+    term: int
+    command: Any
+
+
+class WriteAheadLog:
+    """A 1-indexed append-only log with term metadata."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self.appends = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        if not self._entries:
+            return 0
+        return self._entries[-1].term
+
+    def append(self, term: int, command: Any) -> LogEntry:
+        entry = LogEntry(self.last_index + 1, term, command)
+        self._entries.append(entry)
+        self.appends += 1
+        return entry
+
+    def append_entry(self, entry: LogEntry) -> None:
+        """Append a replicated entry, which must extend the log exactly."""
+        if entry.index != self.last_index + 1:
+            raise IndexError(
+                f"entry index {entry.index} does not extend log of length "
+                f"{self.last_index}"
+            )
+        self._entries.append(entry)
+        self.appends += 1
+
+    def get(self, index: int) -> LogEntry | None:
+        """Entry at 1-based ``index``, or ``None`` if out of range."""
+        if 1 <= index <= len(self._entries):
+            return self._entries[index - 1]
+        return None
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at ``index``; index 0 has term 0 by convention."""
+        if index == 0:
+            return 0
+        entry = self.get(index)
+        if entry is None:
+            raise IndexError(f"no log entry at index {index}")
+        return entry.term
+
+    def slice_from(self, start_index: int) -> list[LogEntry]:
+        """Entries with index >= ``start_index``."""
+        if start_index < 1:
+            start_index = 1
+        return list(self._entries[start_index - 1 :])
+
+    def truncate_from(self, index: int) -> None:
+        """Discard the entry at ``index`` and everything after it."""
+        if index < 1:
+            raise IndexError("log indices start at 1")
+        del self._entries[index - 1 :]

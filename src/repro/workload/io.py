@@ -1,0 +1,70 @@
+"""Persist and exchange demand traces.
+
+Lets users swap the synthetic generator for their own historical demand
+data: export the synthetic trace for inspection (CSV), or load a
+previously saved trace (NPZ) so that every experiment in a study runs on
+byte-identical input.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.workload.trace import SyntheticAzureTrace, TraceConfig
+
+
+def save_trace(trace: SyntheticAzureTrace, path: str | Path) -> None:
+    """Save a trace (series + generator config) to an ``.npz`` file."""
+    path = Path(path)
+    config_items = {
+        f"config_{key}": value for key, value in asdict(trace.config).items()
+    }
+    np.savez_compressed(
+        path,
+        creations=trace.creations,
+        deletions=trace.deletions,
+        outstanding=trace.outstanding,
+        **config_items,
+    )
+
+
+def load_trace(path: str | Path) -> SyntheticAzureTrace:
+    """Load a trace saved by :func:`save_trace`.
+
+    The returned object carries the stored series verbatim (it is *not*
+    regenerated), so studies replaying it are immune to generator
+    changes.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        config_kwargs = {}
+        for key in data.files:
+            if key.startswith("config_"):
+                value = data[key].item()
+                config_kwargs[key[len("config_"):]] = value
+        trace = SyntheticAzureTrace.__new__(SyntheticAzureTrace)
+        trace.config = TraceConfig(**config_kwargs)
+        trace.creations = data["creations"].astype(np.int64)
+        trace.deletions = data["deletions"].astype(np.int64)
+        trace.outstanding = data["outstanding"].astype(np.int64)
+    if not (len(trace.creations) == len(trace.deletions) == len(trace.outstanding)):
+        raise ValueError(f"corrupt trace file {path}: series lengths differ")
+    return trace
+
+
+def export_demand_csv(trace: SyntheticAzureTrace, path: str | Path) -> None:
+    """Write the per-interval series as CSV (interval, creations,
+    deletions, outstanding) for external analysis."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["interval", "creations", "deletions", "outstanding"])
+        for index in range(len(trace.creations)):
+            writer.writerow(
+                [index, int(trace.creations[index]), int(trace.deletions[index]),
+                 int(trace.outstanding[index])]
+            )

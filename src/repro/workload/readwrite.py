@@ -1,0 +1,30 @@
+"""Read-only transaction mixing for the §5.8 experiment."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.client import Operation
+from repro.core.requests import RequestKind
+
+
+def mix_reads(
+    operations: list[Operation], read_ratio: float, rng: random.Random
+) -> list[Operation]:
+    """Replace a fraction of operations with read-only transactions.
+
+    Replacement (rather than insertion) keeps the total arrival rate
+    constant while the read ratio sweeps, so throughput differences come
+    from the read/write cost asymmetry and not from extra offered load.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError(f"read_ratio must be in [0, 1], got {read_ratio}")
+    if read_ratio == 0.0:
+        return list(operations)
+    mixed: list[Operation] = []
+    for operation in operations:
+        if rng.random() < read_ratio:
+            mixed.append(Operation(operation.time, RequestKind.READ, 0))
+        else:
+            mixed.append(operation)
+    return mixed

@@ -1,0 +1,172 @@
+"""Tests for Avantan[(n+1)/2]: failure-free rounds, recovery, safety."""
+
+from repro.core.avantan.base import Role
+from repro.core.avantan.state import AcceptValue, Ballot
+from repro.core.config import AvantanVariant
+from repro.core.entity import SiteTokenState
+from repro.core.messages import DecisionMsg
+from repro.core.requests import RequestStatus
+
+from tests.helpers import MiniCluster, acquire_burst, uniform_ops
+
+
+def exhausting_cluster(**kwargs):
+    """3 sites x 100 tokens; region 0 gets a 150-acquire burst, which
+    cannot be served locally and must force a redistribution."""
+    mini = MiniCluster(variant=AvantanVariant.MAJORITY, maximum=300, **kwargs)
+    region = mini.cluster.sites[0].region
+    mini.client_for(region, acquire_burst(start=1.0, count=150))
+    return mini
+
+
+class TestFailureFreeRound:
+    def test_burst_is_fully_served_via_redistribution(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        assert mini.metrics.committed == 150
+        assert mini.metrics.rejected == 0
+        mini.check()
+
+    def test_redistribution_was_actually_triggered(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        totals = mini.cluster.redistribution_totals()
+        assert totals["triggered"] >= 1
+        assert totals["reactive_triggers"] >= 1
+
+    def test_tokens_moved_to_the_hot_site(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        # 150 of 300 tokens acquired; the rest re-split across the pool.
+        assert mini.cluster.total_tokens_left() == 150
+
+    def test_all_sites_idle_after_round(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        for site in mini.sites:
+            assert site.protocol.role is Role.IDLE
+            assert not site.protocol.active
+
+    def test_round_state_reset_but_ballot_kept(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        for site in mini.sites:
+            state = site.protocol.state
+            assert state.accept_val is None
+            assert not state.decision
+            assert state.ballot_num.num >= 1
+
+    def test_all_participants_applied_same_values(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        applied_sets = [site.protocol.state.applied for site in mini.sites]
+        decided = set().union(*applied_sets)
+        assert decided, "no redistribution value was ever applied"
+        # Every decided value reaches every site (Decision broadcast).
+        for applied in applied_sets:
+            assert applied == decided
+
+
+class TestLeaderFailure:
+    def test_leader_crash_mid_round_recovers_or_aborts_consistently(self):
+        mini = exhausting_cluster()
+        hot = mini.site(0)
+        # Crash the hot site (the round leader) shortly after the burst.
+        mini.kernel.schedule(1.2, hot.crash)
+        mini.run(until=40.0)
+        mini.check()
+        survivors = mini.sites[1:]
+        for site in survivors:
+            assert site.protocol.role is Role.IDLE or site.protocol.degraded
+
+    def test_crashed_leader_recovers_and_rejoins(self):
+        mini = exhausting_cluster()
+        hot = mini.site(0)
+        mini.kernel.schedule(1.2, hot.crash)
+        mini.kernel.schedule(10.0, hot.recover)
+        mini.run(until=60.0)
+        mini.check()
+        assert not hot.crashed
+        # The recovered site still holds a consistent balance.
+        assert hot.state.tokens_left >= 0
+
+    def test_majority_crash_blocks_redistribution_but_not_local_serving(self):
+        mini = MiniCluster(variant=AvantanVariant.MAJORITY, maximum=300)
+        regions = [site.region for site in mini.sites]
+        mini.client_for(regions[0], acquire_burst(start=5.0, count=150))
+        # A light local load on the last site, servable from its own 100.
+        mini.client_for(regions[2], acquire_burst(start=5.0, count=50, spacing=0.1))
+        mini.kernel.schedule(1.0, mini.site(0).crash)
+        mini.kernel.schedule(1.0, mini.site(1).crash)
+        mini.run(until=40.0)
+        # Site 2 served its local 50 acquires despite no quorum anywhere.
+        assert mini.site(2).counters["granted_acquires"] >= 50
+        mini.check()
+
+
+class TestSafety:
+    def test_duplicate_decision_is_idempotent(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        site = mini.site(1)
+        value = site.protocol.state.applied_log[-1]
+        before = site.state.tokens_left
+        site.protocol.handle(DecisionMsg(value.value_id, value), "replayer")
+        assert site.state.tokens_left == before
+        mini.check()
+
+    def test_conservation_under_message_loss(self):
+        mini = exhausting_cluster(loss=0.05)
+        mini.run(until=60.0)
+        mini.check()
+
+    def test_conservation_under_sustained_contention(self):
+        mini = MiniCluster(variant=AvantanVariant.MAJORITY, maximum=200, seed=5)
+        for index, site in enumerate(mini.sites):
+            mini.client_for(
+                site.region,
+                uniform_ops(seed=index, count=600, rate=40, acquire_fraction=0.8),
+            )
+        mini.run(until=60.0)
+        mini.check()
+
+    def test_stale_participant_never_leaks(self):
+        """Repeated rounds under loss + crash churn must conserve tokens
+        (regression for the Algorithm-1 conservation hole)."""
+        mini = MiniCluster(variant=AvantanVariant.MAJORITY, maximum=200, seed=9, loss=0.03)
+        for index, site in enumerate(mini.sites):
+            mini.client_for(
+                site.region,
+                uniform_ops(seed=index, count=500, rate=30, acquire_fraction=0.85),
+            )
+        mini.kernel.schedule(5.0, mini.site(1).crash)
+        mini.kernel.schedule(9.0, mini.site(1).recover)
+        mini.run(until=60.0)
+        mini.check()
+
+
+class TestRecoveryCases:
+    def test_new_leader_adopts_orphaned_value(self):
+        """Drive lines 19-20 directly: a cohort holding an accepted value
+        re-elects and must re-propose that value, not a fresh one."""
+        mini = MiniCluster(variant=AvantanVariant.MAJORITY, maximum=300)
+        a, b, c = mini.sites
+        orphan = AcceptValue(
+            value_id=Ballot(1, a.name),
+            entity_id="VM",
+            states=(
+                SiteTokenState(a.name, "VM", 100, 0),
+                SiteTokenState(b.name, "VM", 100, 0),
+                SiteTokenState(c.name, "VM", 100, 0),
+            ),
+        )
+        b.protocol.state.ballot_num = Ballot(1, a.name)
+        b.protocol.state.accept_val = orphan
+        b.protocol.state.accept_num = Ballot(1, a.name)
+        b.protocol.role = Role.COHORT
+        b.protocol._restart_timer(0.5)
+        mini.run(until=20.0)
+        # The orphan was driven to a decision everywhere.
+        for site in mini.sites:
+            assert orphan.value_id in site.protocol.state.applied
+        mini.check()

@@ -1,0 +1,178 @@
+"""Tests for Avantan[*]: any-subset rounds, locking, recovery, safety."""
+
+from repro.core.avantan.base import Role
+from repro.core.avantan.star import AvantanStar
+from repro.core.config import AvantanVariant
+from repro.core.messages import (
+    AbortRedistribution,
+    AcceptValueMsg,
+    DecisionMsg,
+    ElectionGetValue,
+    ElectionReject,
+)
+from repro.core.avantan.state import Ballot
+
+from tests.helpers import MiniCluster, acquire_burst, uniform_ops
+
+
+def exhausting_cluster(**kwargs):
+    mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300, **kwargs)
+    region = mini.cluster.sites[0].region
+    mini.client_for(region, acquire_burst(start=1.0, count=150))
+    return mini
+
+
+class TestFailureFreeRound:
+    def test_burst_served_via_redistribution(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        assert mini.metrics.committed == 150
+        mini.check()
+
+    def test_round_uses_a_subset_not_necessarily_everyone(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        applied = mini.site(0).protocol.state.applied_log
+        assert applied, "hot site never applied a redistribution"
+        participants = applied[-1].participants
+        assert mini.site(0).name in participants
+        assert 2 <= len(participants) <= 3
+
+    def test_sites_idle_after_round(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        for site in mini.sites:
+            assert site.protocol.role is Role.IDLE
+
+
+class TestLocking:
+    def test_locked_cohort_rejects_concurrent_election(self):
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300)
+        a, b, c = mini.sites
+        # b locks onto a's round...
+        b.protocol._on_election_get_value(
+            ElectionGetValue(Ballot(5, a.name), "VM"), a.name
+        )
+        assert b.protocol.active
+        # ...and must reject c's higher-ballot election (change ii).
+        rejected_before = mini.network.messages_sent
+        b.protocol._on_election_get_value(
+            ElectionGetValue(Ballot(9, c.name), "VM"), c.name
+        )
+        assert b.protocol._locked_to == a.name
+        assert mini.network.messages_sent == rejected_before + 1  # the reject
+
+    def test_stale_ballot_rejected_when_idle(self):
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300)
+        a, b, _ = mini.sites
+        b.protocol.state.ballot_num = Ballot(10, b.name)
+        b.protocol._on_election_get_value(
+            ElectionGetValue(Ballot(3, a.name), "VM"), a.name
+        )
+        assert not b.protocol.active
+
+    def test_full_rejection_aborts_election_early(self):
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300)
+        a, b, c = mini.sites
+        a.protocol.trigger()
+        ballot = a.protocol.state.ballot_num
+        a.protocol._on_election_reject(ElectionReject(ballot, "VM"), b.name)
+        a.protocol._on_election_reject(ElectionReject(ballot, "VM"), c.name)
+        assert not a.protocol.active
+        assert a.protocol.stats.aborted == 1
+
+
+class TestDeadBallots:
+    def test_late_accept_value_after_abort_is_nacked(self):
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300)
+        a, b, _ = mini.sites
+        ballot = Ballot(4, a.name)
+        b.protocol.state.dead_ballots.add(ballot)
+        from repro.core.avantan.state import AcceptValue
+        from repro.core.entity import SiteTokenState
+
+        value = AcceptValue(ballot, "VM", (SiteTokenState(b.name, "VM", 100, 0),))
+        before = b.state.tokens_left
+        b.protocol._on_accept_value(AcceptValueMsg(ballot, value, False), a.name)
+        assert b.state.tokens_left == before
+        assert not b.protocol.active
+
+    def test_abort_from_participant_kills_leader_round(self):
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300)
+        a, b, c = mini.sites
+        region = a.region
+        mini.client_for(region, acquire_burst(start=1.0, count=150))
+        # Let the round start, then have a cohort nack it.
+        def nack():
+            if a.protocol.role is Role.LEADER:
+                a.protocol._on_abort(
+                    AbortRedistribution(a.protocol.state.ballot_num), b.name
+                )
+        mini.kernel.schedule(1.3, nack)
+        mini.run(until=30.0)
+        mini.check()
+
+
+class TestFailureRecovery:
+    def test_leader_crash_cohorts_resolve(self):
+        mini = exhausting_cluster()
+        mini.kernel.schedule(1.2, mini.site(0).crash)
+        mini.run(until=40.0)
+        mini.check()
+        for site in mini.sites[1:]:
+            assert site.protocol.role is Role.IDLE or site.protocol.degraded
+
+    def test_leader_crash_then_recovery_reconverges(self):
+        mini = exhausting_cluster()
+        mini.kernel.schedule(1.2, mini.site(0).crash)
+        mini.kernel.schedule(8.0, mini.site(0).recover)
+        mini.run(until=60.0)
+        mini.check()
+
+    def test_conservation_under_loss(self):
+        mini = exhausting_cluster(loss=0.05)
+        mini.run(until=60.0)
+        mini.check()
+
+    def test_conservation_under_contention_and_churn(self):
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=200, seed=11, loss=0.02)
+        for index, site in enumerate(mini.sites):
+            mini.client_for(
+                site.region,
+                uniform_ops(seed=index, count=500, rate=30, acquire_fraction=0.85),
+            )
+        mini.kernel.schedule(6.0, mini.site(2).crash)
+        mini.kernel.schedule(11.0, mini.site(2).recover)
+        mini.run(until=60.0)
+        mini.check()
+
+    def test_minority_partition_still_redistributes(self):
+        """The headline Avantan[*] property: two sites cut off from the
+        third can still redistribute between themselves."""
+        mini = MiniCluster(variant=AvantanVariant.STAR, maximum=300)
+        a, b, c = mini.sites
+        mini.client_for(a.region, acquire_burst(start=2.0, count=150))
+        # Cut c (and its app manager) off; a+b plus their clients/app
+        # managers stay connected, a minority of the three sites.
+        group_c = [c.name, f"am-{c.region.value}"]
+        group_ab = [n for n in mini.network.endpoints() if n not in group_c]
+        mini.network.partitions.partition([group_ab, group_c])
+        mini.run(until=40.0)
+        # a ran out at 100 and got tokens from b despite the partition.
+        assert mini.site(0).counters["granted_acquires"] == 150
+        totals = mini.cluster.redistribution_totals()
+        assert totals["completed"] >= 1
+        mini.check()
+
+
+class TestDecisionIdempotence:
+    def test_duplicate_decisions_do_not_double_apply(self):
+        mini = exhausting_cluster()
+        mini.run(until=30.0)
+        site = mini.site(0)
+        value = site.protocol.state.applied_log[-1]
+        before = site.state.tokens_left
+        site.protocol.handle(DecisionMsg(value.value_id, value), "replayer")
+        site.protocol.handle(DecisionMsg(value.value_id, value), "replayer")
+        assert site.state.tokens_left == before
+        mini.check()

@@ -1,0 +1,132 @@
+"""Tests for the Raft substrate and the CockroachDB-like baseline."""
+
+from repro.baselines.crdb import CockroachLikeCluster
+from repro.baselines.raft.node import RaftNode
+from repro.core.client import Operation
+from repro.core.entity import Entity
+from repro.core.requests import RequestKind
+from repro.metrics.hub import MetricsHub
+from repro.net.network import Network, NetworkConfig
+from repro.net.regions import PAPER_REGIONS
+from repro.sim.kernel import Kernel
+
+from tests.helpers import acquire_burst, uniform_ops
+
+
+def build_cluster(seed=1, loss=0.0):
+    kernel = Kernel(seed=seed)
+    network = Network(kernel, NetworkConfig(loss_probability=loss))
+    cluster = CockroachLikeCluster(kernel, network, Entity("VM", 100), list(PAPER_REGIONS))
+    hub = MetricsHub()
+    return kernel, cluster, hub
+
+
+def single_leader(cluster):
+    return [n for n in cluster.replicas if n.is_leader and not n.crashed]
+
+
+class TestElections:
+    def test_preferred_leader_wins_first_election(self):
+        kernel, cluster, hub = build_cluster()
+        cluster.start()
+        kernel.run(until=3.0)
+        leaders = single_leader(cluster)
+        assert len(leaders) == 1
+        assert leaders[0] is cluster.replicas[0]
+
+    def test_terms_agree_after_stabilization(self):
+        kernel, cluster, hub = build_cluster()
+        cluster.start()
+        kernel.run(until=5.0)
+        assert len({n.term for n in cluster.replicas}) == 1
+
+    def test_leader_crash_elects_replacement(self):
+        kernel, cluster, hub = build_cluster()
+        kernel.schedule(3.0, cluster.replicas[0].crash)
+        cluster.start()
+        kernel.run(until=15.0)
+        leaders = single_leader(cluster)
+        assert len(leaders) == 1
+        assert leaders[0] is not cluster.replicas[0]
+
+    def test_recovered_old_leader_steps_down(self):
+        kernel, cluster, hub = build_cluster()
+        old = cluster.replicas[0]
+        kernel.schedule(3.0, old.crash)
+        kernel.schedule(20.0, old.recover)
+        cluster.start()
+        kernel.run(until=40.0)
+        assert len(single_leader(cluster)) == 1
+        assert not old.is_leader or all(
+            n is old or not n.is_leader for n in cluster.replicas
+        )
+
+
+class TestReplication:
+    def test_commits_and_constraint(self):
+        kernel, cluster, hub = build_cluster()
+        cluster.add_client(PAPER_REGIONS[0], acquire_burst(2.0, 120, spacing=0.3), metrics=hub)
+        cluster.start()
+        kernel.run(until=60.0)
+        assert hub.committed == 100
+        assert hub.rejected == 20
+
+    def test_replicas_apply_identical_logs(self):
+        kernel, cluster, hub = build_cluster()
+        cluster.add_client(PAPER_REGIONS[0], uniform_ops(3, 80, rate=5), metrics=hub)
+        cluster.start()
+        kernel.run(until=90.0)
+        frontier = max(n.commit_index for n in cluster.replicas)
+        converged = [n for n in cluster.replicas if n.applied_index == frontier]
+        assert len(converged) >= 3  # a majority has applied everything
+        assert len({repr(sorted(n.state_machine.used.items())) for n in converged}) == 1
+
+    def test_lagging_follower_catches_up(self):
+        kernel, cluster, hub = build_cluster()
+        laggard = cluster.replicas[4]
+        kernel.schedule(1.0, laggard.crash)
+        cluster.add_client(PAPER_REGIONS[0], acquire_burst(2.0, 30, spacing=0.3), metrics=hub)
+        kernel.schedule(20.0, laggard.recover)
+        cluster.start()
+        kernel.run(until=60.0)
+        leader = single_leader(cluster)[0]
+        assert laggard.log.last_index == leader.log.last_index
+        assert laggard.applied_index >= 30
+
+    def test_leaseholder_reads_are_local(self):
+        kernel, cluster, hub = build_cluster()
+        cluster.add_client(PAPER_REGIONS[0], [Operation(2.0, RequestKind.READ, 0)], metrics=hub)
+        cluster.start()
+        kernel.run(until=5.0)
+        assert hub.committed_reads == 1
+        assert hub.read_latencies[0] < 0.05
+
+    def test_no_commits_without_majority(self):
+        kernel, cluster, hub = build_cluster()
+        for node in cluster.replicas[2:]:
+            kernel.schedule(1.0, node.crash)
+        cluster.add_client(PAPER_REGIONS[0], acquire_burst(3.0, 20, spacing=0.2), metrics=hub)
+        cluster.start()
+        kernel.run(until=30.0)
+        assert hub.committed == 0
+
+    def test_survives_message_loss(self):
+        kernel, cluster, hub = build_cluster(loss=0.05)
+        cluster.add_client(PAPER_REGIONS[0], acquire_burst(2.0, 30, spacing=0.5), metrics=hub)
+        cluster.start()
+        kernel.run(until=120.0)
+        assert hub.committed >= 25
+
+    def test_partition_minority_stalls_majority_commits(self):
+        kernel, cluster, hub = build_cluster()
+        names = [n.name for n in cluster.replicas]
+        # Leader ends up in the minority side: majority side re-elects.
+        kernel.schedule(2.0, cluster.network.partitions.partition, [names[:2], names[2:]])
+        cluster.start()
+        kernel.run(until=30.0)
+        majority_leaders = [
+            n for n in cluster.replicas[2:] if n.is_leader and not n.crashed
+        ]
+        assert len(majority_leaders) == 1
+        # Old leader in the minority cannot have advanced its term beyond.
+        assert cluster.replicas[0].term <= majority_leaders[0].term

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.system == "samya-majority"
+        assert args.duration == 120.0
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "spanner"])
+
+
+class TestCommands:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "--duration", "10", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "committed" in out
+        assert "latency p99" in out
+
+    def test_run_with_series(self, capsys):
+        code = main(["run", "--duration", "10", "--series"])
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--systems", "samya-majority,demarcation", "--duration", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "samya-majority" in out and "demarcation" in out
+
+    def test_compare_unknown_system_exits_nonzero(self, capsys):
+        code = main(["compare", "--systems", "spanner", "--duration", "5"])
+        assert code == 2
+        assert "unknown systems" in capsys.readouterr().err
+
+    def test_predict(self, capsys):
+        code = main(["predict", "--models", "random-walk,seasonal", "--days", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "random-walk" in out and "seasonal" in out
+
+    def test_predict_unknown_model(self, capsys):
+        code = main(["predict", "--models", "crystal-ball", "--days", "3"])
+        assert code == 2
+
+    def test_trace(self, capsys):
+        code = main(["trace", "--days", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "daily_autocorrelation" in out

@@ -1,0 +1,39 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.core.config import AvantanVariant, SamyaConfig
+from repro.net.network import NetworkConfig
+
+
+class TestSamyaConfig:
+    def test_defaults_are_sane(self):
+        config = SamyaConfig()
+        assert config.variant is AvantanVariant.MAJORITY
+        assert config.enforce_constraint
+        assert config.redistribute
+        assert config.proactive
+
+    def test_epoch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamyaConfig(epoch_seconds=0.0)
+        with pytest.raises(ValueError):
+            SamyaConfig(epoch_seconds=-1.0)
+
+    def test_service_times_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            SamyaConfig(service_time=-0.001)
+        with pytest.raises(ValueError):
+            SamyaConfig(protocol_service_time=-0.001)
+        SamyaConfig(service_time=0.0)  # zero is allowed
+
+    def test_variant_enum_round_trip(self):
+        assert AvantanVariant("majority") is AvantanVariant.MAJORITY
+        assert AvantanVariant("star") is AvantanVariant.STAR
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        config = NetworkConfig()
+        assert config.loss_probability == 0.0
+        assert config.jitter_sigma > 0.0

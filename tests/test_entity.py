@@ -1,0 +1,78 @@
+"""Tests for the token data model (§3.2)."""
+
+import pytest
+
+from repro.core.entity import Entity, EntityState, SiteTokenState, TokenError
+
+
+class TestEntity:
+    def test_valid_entity(self):
+        entity = Entity("VM", 5000)
+        assert entity.maximum == 5000
+
+    def test_negative_maximum_rejected(self):
+        with pytest.raises(TokenError):
+            Entity("VM", -1)
+
+    def test_zero_maximum_allowed(self):
+        assert Entity("VM", 0).maximum == 0
+
+
+class TestEntityState:
+    def test_acquire_decrements(self):
+        state = EntityState("VM", 10)
+        state.acquire(4)
+        assert state.tokens_left == 6
+
+    def test_release_increments(self):
+        state = EntityState("VM", 10)
+        state.release(5)
+        assert state.tokens_left == 15
+
+    def test_acquire_beyond_balance_raises(self):
+        state = EntityState("VM", 3)
+        with pytest.raises(TokenError):
+            state.acquire(4)
+        assert state.tokens_left == 3  # unchanged on failure
+
+    def test_non_positive_amounts_rejected(self):
+        state = EntityState("VM", 3)
+        with pytest.raises(TokenError):
+            state.acquire(0)
+        with pytest.raises(TokenError):
+            state.release(0)
+        with pytest.raises(TokenError):
+            state.acquire(-1)
+        with pytest.raises(TokenError):
+            state.release(-2)
+
+    def test_can_acquire(self):
+        state = EntityState("VM", 3)
+        assert state.can_acquire(3)
+        assert not state.can_acquire(4)
+        assert not state.can_acquire(0)
+
+    def test_negative_initial_counts_rejected(self):
+        with pytest.raises(TokenError):
+            EntityState("VM", -1)
+        with pytest.raises(TokenError):
+            EntityState("VM", 1, tokens_wanted=-1)
+
+    def test_snapshot_captures_current_state(self):
+        state = EntityState("VM", 10, tokens_wanted=2)
+        snap = state.snapshot("site-1")
+        state.acquire(5)
+        assert snap == SiteTokenState("site-1", "VM", 10, 2)
+
+
+class TestSiteTokenState:
+    def test_is_immutable(self):
+        snap = SiteTokenState("s", "VM", 1, 0)
+        with pytest.raises(AttributeError):
+            snap.tokens_left = 5
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(TokenError):
+            SiteTokenState("s", "VM", -1, 0)
+        with pytest.raises(TokenError):
+            SiteTokenState("s", "VM", 0, -1)

@@ -1,0 +1,153 @@
+"""Tests for the enterprise hierarchy accounting layer (Fig. 1)."""
+
+import pytest
+
+from repro.core.hierarchy import (
+    OrgHierarchy,
+    OrgNode,
+    TeamOperation,
+    compile_team_operations,
+)
+from repro.core.requests import RequestKind
+
+
+def ecommerce():
+    """The paper's Fig. 1 example: eCommerce.com with two departments."""
+    return OrgHierarchy(
+        OrgNode(
+            "eCommerce.com",
+            [
+                OrgNode("retail", [OrgNode("clothing"), OrgNode("electronics")]),
+                OrgNode("platform", [OrgNode("search"), OrgNode("payments")]),
+            ],
+        )
+    )
+
+
+class TestStructure:
+    def test_teams_are_the_leaves(self):
+        hierarchy = ecommerce()
+        assert {team.name for team in hierarchy.teams()} == {
+            "clothing", "electronics", "search", "payments",
+        }
+
+    def test_path_to_root(self):
+        hierarchy = ecommerce()
+        assert hierarchy.path_to_root("clothing") == [
+            "clothing", "retail", "eCommerce.com",
+        ]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            OrgHierarchy(OrgNode("root", [OrgNode("a"), OrgNode("a")]))
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(KeyError):
+            ecommerce().node("warehouse")
+
+
+class TestAccounting:
+    def test_acquire_percolates_to_root(self):
+        hierarchy = ecommerce()
+        hierarchy.record_acquire("clothing", 10)
+        hierarchy.record_acquire("payments", 4)
+        report = hierarchy.usage_report()
+        assert report["clothing"] == 10
+        assert report["retail"] == 10
+        assert report["platform"] == 4
+        assert report["eCommerce.com"] == 14
+        hierarchy.check_rollup()
+
+    def test_release_percolates_too(self):
+        hierarchy = ecommerce()
+        hierarchy.record_acquire("clothing", 10)
+        hierarchy.record_release("clothing", 3)
+        assert hierarchy.usage_report()["eCommerce.com"] == 7
+        hierarchy.check_rollup()
+
+    def test_team_cannot_release_more_than_it_holds(self):
+        hierarchy = ecommerce()
+        hierarchy.record_acquire("search", 2)
+        with pytest.raises(ValueError):
+            hierarchy.record_release("search", 3)
+
+    def test_only_teams_consume(self):
+        hierarchy = ecommerce()
+        with pytest.raises(ValueError):
+            hierarchy.record_acquire("retail", 1)
+
+    def test_amount_validation(self):
+        hierarchy = ecommerce()
+        with pytest.raises(ValueError):
+            hierarchy.record_acquire("clothing", 0)
+        with pytest.raises(ValueError):
+            hierarchy.record_release("clothing", -1)
+
+    def test_rollup_check_catches_corruption(self):
+        hierarchy = ecommerce()
+        hierarchy.record_acquire("clothing", 5)
+        hierarchy.node("retail").usage = 99
+        with pytest.raises(AssertionError):
+            hierarchy.check_rollup()
+
+
+class TestCompilation:
+    def test_team_ops_become_root_entity_ops(self):
+        hierarchy = ecommerce()
+        team_ops = [
+            TeamOperation(2.0, "clothing", RequestKind.ACQUIRE, 3),
+            TeamOperation(1.0, "search", RequestKind.ACQUIRE, 1),
+        ]
+        compiled = compile_team_operations(hierarchy, team_ops)
+        assert [pair[0].team for pair in compiled] == ["search", "clothing"]
+        assert [pair[1].time for pair in compiled] == [1.0, 2.0]
+        assert all(pair[1].kind is RequestKind.ACQUIRE for pair in compiled)
+
+    def test_unknown_team_rejected(self):
+        hierarchy = ecommerce()
+        with pytest.raises(ValueError):
+            compile_team_operations(
+                hierarchy, [TeamOperation(1.0, "warehouse", RequestKind.ACQUIRE)]
+            )
+
+
+class TestEndToEnd:
+    def test_hierarchy_over_a_samya_cluster(self):
+        """Teams consume against the root quota through a live cluster;
+        the hierarchy's root usage matches the cluster's token ledger."""
+        from tests.helpers import MiniCluster
+
+        mini = MiniCluster(maximum=300)
+        hierarchy = ecommerce()
+        team_ops = [
+            TeamOperation(1.0 + 0.01 * index, team.name, RequestKind.ACQUIRE, 1)
+            for index in range(40)
+            for team in [hierarchy.teams()[index % 4]]
+        ]
+        compiled = compile_team_operations(hierarchy, team_ops)
+        client = mini.client_for(mini.site(0).region, [op for _, op in compiled])
+        # Attribute grants back to teams as responses arrive.
+        by_id = {}
+        original_issue = client._issue
+
+        def issue_spy(operation):
+            original_issue(operation)
+
+        responses = []
+        original = client.on_response
+
+        def spy(response, now):
+            responses.append(response)
+            original(response, now)
+
+        client.on_response = spy
+        mini.run(until=10.0)
+        # All 40 granted; attribute them round-robin as issued.
+        granted = [r for r in responses if r.status.value == "granted"]
+        assert len(granted) == 40
+        for index in range(40):
+            hierarchy.record_acquire(hierarchy.teams()[index % 4].name, 1)
+        assert hierarchy.usage_report()["eCommerce.com"] == 40
+        hierarchy.check_rollup()
+        # The root usage equals tokens drawn from the cluster.
+        assert 300 - mini.cluster.total_tokens_left() == 40

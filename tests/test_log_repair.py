@@ -1,0 +1,166 @@
+"""Message-level tests of log repair in the replicated-log substrates.
+
+These complement the scenario tests with deterministic, crafted-message
+coverage of the conflict/truncation/backfill logic that real network
+schedules only hit probabilistically.
+"""
+
+from repro.baselines.paxos.messages import Accept, AcceptNack, Backfill
+from repro.baselines.paxos.replica import PaxosReplica
+from repro.baselines.raft.messages import AppendEntries, AppendEntriesReply
+from repro.baselines.raft.node import RaftNode
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.regions import PAPER_REGIONS, Region
+from repro.sim.kernel import Kernel
+from repro.storage.wal import LogEntry
+
+
+def paxos_pair():
+    kernel = Kernel(seed=1)
+    network = Network(kernel)
+    replicas = [
+        PaxosReplica(kernel, f"p{i}", PAPER_REGIONS[i], network, {"VM": 100},
+                     is_initial_leader=(i == 0))
+        for i in range(3)
+    ]
+    names = [replica.name for replica in replicas]
+    for replica in replicas:
+        replica.connect(names)
+    return kernel, network, replicas
+
+
+def raft_group():
+    kernel = Kernel(seed=1)
+    network = Network(kernel)
+    nodes = [
+        RaftNode(kernel, f"r{i}", PAPER_REGIONS[i], network, {"VM": 100},
+                 preferred_leader=(i == 0))
+        for i in range(3)
+    ]
+    names = [node.name for node in nodes]
+    for node in nodes:
+        node.connect(names)
+    return kernel, network, nodes
+
+
+class TestPaxosFollowerLog:
+    def test_gap_produces_nack(self):
+        kernel, network, (leader, follower, _) = paxos_pair()
+        sent = []
+        network.trace = sent.append
+        # Entry 3 arrives at a follower whose log is empty: gap.
+        follower._on_accept(
+            Accept((1, leader.name), LogEntry(3, 1, None), commit_index=0),
+            leader.name,
+        )
+        nacks = [m for m in sent if isinstance(m.payload, AcceptNack)]
+        assert nacks and nacks[0].payload.expected_index == 1
+
+    def test_backfill_fills_gap_and_acks(self):
+        kernel, network, (leader, follower, _) = paxos_pair()
+        entries = tuple(LogEntry(i, 1, None) for i in (1, 2, 3))
+        follower._on_backfill(
+            Backfill((1, leader.name), entries, commit_index=2), leader.name
+        )
+        assert follower.log.last_index == 3
+        assert follower.commit_index == 2
+
+    def test_conflicting_entry_truncates_suffix(self):
+        kernel, network, (leader, follower, _) = paxos_pair()
+        for index in (1, 2, 3):
+            follower.log.append(1, f"old-{index}")
+        follower._on_accept(
+            Accept((2, leader.name), LogEntry(2, 2, "new"), commit_index=0),
+            leader.name,
+        )
+        assert follower.log.last_index == 2
+        assert follower.log.get(2).command == "new"
+        assert follower.log.get(1).command == "old-1"
+
+    def test_stale_ballot_accept_ignored(self):
+        kernel, network, (leader, follower, _) = paxos_pair()
+        follower.promised = (5, "someone")
+        follower._on_accept(
+            Accept((1, leader.name), LogEntry(1, 1, None), 0), leader.name
+        )
+        assert follower.log.last_index == 0
+
+
+class TestRaftFollowerLog:
+    def test_prev_index_mismatch_rejected_with_hint(self):
+        kernel, network, (leader, follower, _) = raft_group()
+        sent = []
+        network.trace = sent.append
+        follower._on_append_entries(
+            AppendEntries(term=1, leader=leader.name, prev_log_index=5,
+                          prev_log_term=1, entries=(), leader_commit=0),
+            leader.name,
+        )
+        replies = [m for m in sent if isinstance(m.payload, AppendEntriesReply)]
+        assert replies and not replies[0].payload.success
+        assert replies[0].payload.match_index <= follower.log.last_index
+
+    def test_prev_term_mismatch_rejected(self):
+        kernel, network, (leader, follower, _) = raft_group()
+        follower.log.append(1, None)
+        sent = []
+        network.trace = sent.append
+        follower._on_append_entries(
+            AppendEntries(term=2, leader=leader.name, prev_log_index=1,
+                          prev_log_term=2, entries=(), leader_commit=0),
+            leader.name,
+        )
+        replies = [m for m in sent if isinstance(m.payload, AppendEntriesReply)]
+        assert replies and not replies[0].payload.success
+
+    def test_conflicting_suffix_replaced(self):
+        kernel, network, (leader, follower, _) = raft_group()
+        for index in (1, 2, 3):
+            follower.log.append(1, f"old-{index}")
+        follower._on_append_entries(
+            AppendEntries(term=2, leader=leader.name, prev_log_index=1,
+                          prev_log_term=1,
+                          entries=(LogEntry(2, 2, "new-2"), LogEntry(3, 2, "new-3")),
+                          leader_commit=0),
+            leader.name,
+        )
+        assert follower.log.get(2).command == "new-2"
+        assert follower.log.get(3).command == "new-3"
+        assert follower.log.term_at(1) == 1
+
+    def test_commit_index_capped_at_log_length(self):
+        kernel, network, (leader, follower, _) = raft_group()
+        follower._on_append_entries(
+            AppendEntries(term=1, leader=leader.name, prev_log_index=0,
+                          prev_log_term=0, entries=(LogEntry(1, 1, None),),
+                          leader_commit=99),
+            leader.name,
+        )
+        assert follower.commit_index == 1
+
+    def test_old_term_append_rejected_and_term_reported(self):
+        kernel, network, (leader, follower, _) = raft_group()
+        follower.term = 7
+        sent = []
+        network.trace = sent.append
+        follower._on_append_entries(
+            AppendEntries(term=3, leader=leader.name, prev_log_index=0,
+                          prev_log_term=0, entries=(), leader_commit=0),
+            leader.name,
+        )
+        replies = [m for m in sent if isinstance(m.payload, AppendEntriesReply)]
+        assert replies and replies[0].payload.term == 7
+        assert not replies[0].payload.success
+
+    def test_leader_backs_up_next_index_on_failure(self):
+        kernel, network, (leader, follower, _) = raft_group()
+        leader.role = RaftNode.LEADER
+        leader.term = 2
+        for index in range(5):
+            leader.log.append(2, None)
+        leader._next_index[follower.name] = 6
+        leader._on_append_reply(
+            AppendEntriesReply(term=2, success=False, match_index=2), follower.name
+        )
+        assert leader._next_index[follower.name] == 3

@@ -1,0 +1,116 @@
+"""Tests for the from-scratch NumPy LSTM.
+
+The gradient check is the load-bearing test: it verifies the entire BPTT
+implementation against numerical differentiation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.prediction.lstm import AdamOptimizer, LstmNetwork, LstmPredictor, TimeFeatures
+
+
+class TestTimeFeatures:
+    def test_width(self):
+        assert TimeFeatures([10]).width == 2
+        assert TimeFeatures([10, 70]).width == 4
+
+    def test_periodicity(self):
+        features = TimeFeatures([10])
+        assert np.allclose(features.encode(3), features.encode(13))
+        assert not np.allclose(features.encode(3), features.encode(4))
+
+    def test_unit_circle(self):
+        vector = TimeFeatures([7]).encode(5)
+        assert vector[0] ** 2 + vector[1] ** 2 == pytest.approx(1.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            TimeFeatures([0])
+
+
+class TestGradients:
+    def test_bptt_matches_numerical_gradients(self):
+        rng = np.random.RandomState(0)
+        network = LstmNetwork(input_size=3, hidden_size=4, rng=rng)
+        inputs = rng.randn(5, 2, 3)  # 5 steps, batch 2
+        targets = rng.randn(2)
+
+        def loss():
+            predictions, _ = network.forward(inputs)
+            error = predictions - targets
+            return float(error @ error)
+
+        predictions, caches = network.forward(inputs)
+        d_pred = 2.0 * (predictions - targets)
+        grads = network.backward(inputs, caches, d_pred)
+
+        epsilon = 1e-5
+        for key in network.params:
+            flat = network.params[key].reshape(-1)
+            for index in rng.choice(flat.size, size=min(6, flat.size), replace=False):
+                original = flat[index]
+                flat[index] = original + epsilon
+                upper = loss()
+                flat[index] = original - epsilon
+                lower = loss()
+                flat[index] = original
+                numeric = (upper - lower) / (2 * epsilon)
+                analytic = grads[key].reshape(-1)[index]
+                assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-6), key
+
+
+class TestAdam:
+    def test_descends_a_quadratic(self):
+        params = {"x": np.array([10.0])}
+        optimizer = AdamOptimizer(lr=0.5)
+        for _ in range(200):
+            grads = {"x": 2.0 * params["x"]}
+            optimizer.step(params, grads)
+        assert abs(params["x"][0]) < 0.1
+
+
+class TestLstmPredictor:
+    def test_learns_a_sine_wave(self):
+        series = [50.0 + 30.0 * math.sin(2 * math.pi * i / 16) for i in range(400)]
+        predictor = LstmPredictor(
+            window=16, hidden_size=8, epochs=30, periods=(16,), seed=1,
+            learning_rate=0.01,
+        )
+        predictor.fit(series[:320])
+        errors = []
+        for actual in series[320:]:
+            errors.append(abs(predictor.forecast() - actual))
+            predictor.update(actual)
+        assert sum(errors) / len(errors) < 6.0  # amplitude is 30
+
+    def test_training_loss_decreases(self):
+        series = [50.0 + 30.0 * math.sin(2 * math.pi * i / 16) for i in range(300)]
+        predictor = LstmPredictor(window=16, hidden_size=8, epochs=10, periods=(16,), seed=1)
+        predictor.fit(series)
+        assert predictor.training_losses[-1] < predictor.training_losses[0]
+
+    def test_deterministic_for_seed(self):
+        series = [float(i % 7) for i in range(120)]
+        a = LstmPredictor(window=8, hidden_size=4, epochs=2, periods=(7,), seed=3)
+        b = LstmPredictor(window=8, hidden_size=4, epochs=2, periods=(7,), seed=3)
+        a.fit(series)
+        b.fit(series)
+        assert a.forecast() == b.forecast()
+
+    def test_forecast_never_negative(self):
+        series = [0.1] * 100
+        predictor = LstmPredictor(window=8, hidden_size=4, epochs=2, periods=(7,), seed=3)
+        predictor.fit(series)
+        assert predictor.forecast() >= 0.0
+
+    def test_untrained_falls_back_to_random_walk(self):
+        predictor = LstmPredictor(window=8)
+        predictor.update(12.0)
+        assert predictor.forecast() == 12.0
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError):
+            LstmPredictor(window=32).fit([1.0] * 10)

@@ -1,0 +1,77 @@
+"""Tests for scheduled fault injection."""
+
+import pytest
+
+from repro.net.faults import CrashController, FaultEvent, FaultSchedule
+from repro.net.network import Network
+from repro.net.regions import Region
+from repro.sim.kernel import Kernel
+from repro.sim.process import Actor
+
+
+def build():
+    kernel = Kernel()
+    network = Network(kernel)
+    controller = CrashController(kernel, network)
+    actors = []
+    for name in ("x", "y", "z"):
+        actor = Actor(kernel, name)
+        network.attach(actor, Region.US_WEST1)
+        controller.register(actor)
+        actors.append(actor)
+    return kernel, network, controller, actors
+
+
+class TestFaultSchedule:
+    def test_builder_methods_append_events(self):
+        schedule = (
+            FaultSchedule()
+            .crash(1.0, "x")
+            .recover(2.0, "x")
+            .partition(3.0, ("x",), ("y", "z"))
+            .heal(4.0)
+        )
+        assert [event.action for event in schedule.events] == [
+            "crash",
+            "recover",
+            "partition",
+            "heal",
+        ]
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "explode")
+
+
+class TestCrashController:
+    def test_crash_and_recover_apply_at_times(self):
+        kernel, network, controller, (x, y, z) = build()
+        controller.install(FaultSchedule().crash(1.0, "x").recover(2.0, "x"))
+        kernel.run(until=1.5)
+        assert x.crashed
+        assert not y.crashed
+        kernel.run(until=2.5)
+        assert not x.crashed
+
+    def test_partition_and_heal(self):
+        kernel, network, controller, actors = build()
+        controller.install(
+            FaultSchedule().partition(1.0, ("x",), ("y", "z")).heal(2.0)
+        )
+        kernel.run(until=1.5)
+        assert not network.partitions.can_communicate("x", "y")
+        assert network.partitions.can_communicate("y", "z")
+        kernel.run(until=2.5)
+        assert network.partitions.can_communicate("x", "y")
+
+    def test_unknown_target_is_ignored(self):
+        kernel, network, controller, actors = build()
+        controller.install(FaultSchedule().crash(1.0, "ghost"))
+        kernel.run()
+        assert controller.applied[0].targets == ("ghost",)
+
+    def test_multiple_targets_in_one_event(self):
+        kernel, network, controller, (x, y, z) = build()
+        controller.install(FaultSchedule().crash(1.0, "x", "y"))
+        kernel.run()
+        assert x.crashed and y.crashed and not z.crashed

@@ -1,0 +1,123 @@
+"""Property-based end-to-end tests: conservation and the Eq. 1 constraint
+survive arbitrary workloads, fault schedules, and both Avantan variants.
+
+These are the highest-leverage tests in the suite: hypothesis explores
+request patterns and crash timings no hand-written scenario covers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AvantanVariant
+from repro.core.client import Operation
+from repro.core.requests import RequestKind
+
+from tests.helpers import MiniCluster
+
+workload = st.lists(
+    st.tuples(
+        st.floats(0.1, 20.0),            # issue time
+        st.sampled_from([RequestKind.ACQUIRE, RequestKind.RELEASE]),
+        st.integers(1, 20),              # amount
+        st.integers(0, 2),               # client region index
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+variants = st.sampled_from([AvantanVariant.MAJORITY, AvantanVariant.STAR])
+
+
+def run_workload(variant, operations, seed, loss=0.0, crash_plan=()):
+    mini = MiniCluster(variant=variant, maximum=120, seed=seed, loss=loss)
+    per_region: dict[int, list[Operation]] = {0: [], 1: [], 2: []}
+    for time, kind, amount, region_index in operations:
+        per_region[region_index].append(Operation(time, kind, amount))
+    for region_index, ops in per_region.items():
+        if ops:
+            mini.client_for(mini.site(region_index).region, ops)
+    for crash_at, recover_at, site_index in crash_plan:
+        site = mini.site(site_index)
+        mini.kernel.schedule(crash_at, site.crash)
+        if recover_at is not None:
+            mini.kernel.schedule(max(recover_at, crash_at + 0.01), site.recover)
+    mini.run(until=60.0)
+    return mini
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=workload, variant=variants, seed=st.integers(0, 10_000))
+def test_conservation_for_arbitrary_workloads(operations, variant, seed):
+    mini = run_workload(variant, operations, seed)
+    mini.check()
+    # Every request got an answer: nothing is stranded in a queue.
+    assert all(not site._pending for site in mini.sites)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=workload,
+    variant=variants,
+    seed=st.integers(0, 10_000),
+    loss=st.sampled_from([0.0, 0.02, 0.1]),
+)
+def test_conservation_under_message_loss(operations, variant, seed, loss):
+    mini = run_workload(variant, operations, seed, loss=loss)
+    mini.check()
+
+
+crash_plans = st.lists(
+    st.tuples(
+        st.floats(0.5, 15.0),                       # crash time
+        st.one_of(st.none(), st.floats(1.0, 30.0)),  # recovery time (or never)
+        st.integers(0, 2),                          # which site
+    ),
+    max_size=2,
+)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=workload,
+    variant=variants,
+    seed=st.integers(0, 10_000),
+    crash_plan=crash_plans,
+)
+def test_conservation_under_crashes(operations, variant, seed, crash_plan):
+    mini = run_workload(variant, operations, seed, crash_plan=crash_plan)
+    mini.check()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=workload, variant=variants, seed=st.integers(0, 10_000))
+def test_constraint_never_exceeded_during_run(operations, variant, seed):
+    """Eq. 1, checked continuously rather than only at the end."""
+    mini = MiniCluster(variant=variant, maximum=120, seed=seed)
+    per_region: dict[int, list[Operation]] = {0: [], 1: [], 2: []}
+    for time, kind, amount, region_index in operations:
+        per_region[region_index].append(Operation(time, kind, amount))
+    for region_index, ops in per_region.items():
+        if ops:
+            mini.client_for(mini.site(region_index).region, ops)
+    mini.checker.install_periodic(mini.kernel, interval=0.5, until=40.0)
+    mini.run(until=60.0)
+    mini.check()
+    assert mini.checker.checks >= 10
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(variant=variants, seed=st.integers(0, 10_000))
+def test_identical_seeds_replay_identically(variant, seed):
+    """Full-stack determinism: same seed, same committed count and same
+    final balances."""
+
+    def run():
+        ops = [(float(i % 7) + 0.2, RequestKind.ACQUIRE, 1 + i % 3, i % 3) for i in range(40)]
+        mini = run_workload(variant, ops, seed)
+        return (
+            mini.metrics.committed,
+            tuple(site.state.tokens_left for site in mini.sites),
+            mini.kernel.events_fired,
+        )
+
+    assert run() == run()

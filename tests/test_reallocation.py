@@ -1,0 +1,199 @@
+"""Tests for Algorithm 2 and the alternative reallocation strategies.
+
+Conservation — sum(granted) == sum(pooled) — is THE invariant: it is what
+makes the global constraint (Eq. 1) hold by construction, so it gets
+property-based coverage across all strategies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entity import SiteTokenState
+from repro.core.reallocation import (
+    EqualSplitReallocator,
+    GreedyMaxUsageReallocator,
+    ProportionalReallocator,
+    ReallocationError,
+    redistribute_tokens,
+)
+
+
+def states(*triples):
+    return [
+        SiteTokenState(f"s{i}", "VM", left, wanted)
+        for i, (left, wanted) in enumerate(triples)
+    ]
+
+
+class TestGreedyMaxUsage:
+    def test_all_wants_satisfied_when_supply_suffices(self):
+        pool = states((100, 30), (50, 10), (200, 0))
+        granted = redistribute_tokens(pool)
+        # Wants granted in full, leftover (310-40=310... spare=350, wants=40,
+        # leftover 310) split equally with remainder to smallest ids.
+        assert granted["s0"] >= 30
+        assert granted["s1"] >= 10
+        assert sum(granted.values()) == 350
+
+    def test_exact_fit(self):
+        pool = states((10, 15), (20, 15))
+        granted = redistribute_tokens(pool)
+        assert granted == {"s0": 15, "s1": 15}
+
+    def test_smallest_wants_rejected_first_when_short(self):
+        # spare = 100; wants = 10 + 20 + 90 = 120 > 100: reject 10, then
+        # outstanding 110 > 100, reject 20 -> outstanding 90 <= 100.
+        pool = states((50, 10), (30, 20), (20, 90))
+        granted = redistribute_tokens(pool)
+        leftover = 100 - 90
+        share, remainder = divmod(leftover, 3)
+        assert granted["s2"] >= 90
+        assert granted["s0"] <= share + 1
+        assert granted["s1"] <= share + 1
+
+    def test_everything_rejected_when_nothing_fits(self):
+        pool = states((1, 50), (1, 60))
+        granted = redistribute_tokens(pool)
+        # Both wants exceed the pool of 2 after rejections; equal split.
+        assert sum(granted.values()) == 2
+
+    def test_no_wants_means_equal_rebalance(self):
+        pool = states((90, 0), (0, 0), (9, 0))
+        granted = redistribute_tokens(pool)
+        assert sum(granted.values()) == 99
+        assert granted == {"s0": 33, "s1": 33, "s2": 33}
+
+    def test_remainder_goes_to_smallest_site_ids(self):
+        pool = states((10, 0), (0, 0), (0, 0))
+        granted = redistribute_tokens(pool)
+        assert granted == {"s0": 4, "s1": 3, "s2": 3}
+
+    def test_single_site(self):
+        pool = states((42, 7))
+        granted = redistribute_tokens(pool)
+        assert granted == {"s0": 42}
+
+    def test_deterministic_across_orderings(self):
+        pool = states((50, 10), (30, 20), (20, 90))
+        forward = GreedyMaxUsageReallocator().allocate(pool)
+        backward = GreedyMaxUsageReallocator().allocate(list(reversed(pool)))
+        assert forward == backward
+
+    def test_tie_on_wants_breaks_on_site_id(self):
+        # Two identical wants, supply fits only one: s0 (smaller id) is
+        # rejected first, so s1 keeps its want.
+        pool = states((0, 10), (0, 10), (10, 0))
+        granted = GreedyMaxUsageReallocator().allocate(pool)
+        assert granted["s1"] >= 10 or granted["s0"] >= 10
+        assert sum(granted.values()) == 10
+
+
+class TestProportional:
+    def test_full_grant_when_supply_suffices(self):
+        pool = states((100, 20), (100, 30))
+        granted = ProportionalReallocator().allocate(pool)
+        assert granted["s0"] >= 20 and granted["s1"] >= 30
+        assert sum(granted.values()) == 200
+
+    def test_scales_down_when_short(self):
+        pool = states((30, 100), (30, 300))
+        granted = ProportionalReallocator().allocate(pool)
+        assert sum(granted.values()) == 60
+        assert granted["s1"] > granted["s0"]
+
+
+class TestEqualSplit:
+    def test_ignores_wants(self):
+        pool = states((100, 0), (0, 500))
+        granted = EqualSplitReallocator().allocate(pool)
+        assert granted == {"s0": 50, "s1": 50}
+
+
+class TestValidation:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ReallocationError):
+            redistribute_tokens([])
+
+    def test_duplicate_site_ids_rejected(self):
+        pool = [
+            SiteTokenState("s0", "VM", 1, 0),
+            SiteTokenState("s0", "VM", 2, 0),
+        ]
+        with pytest.raises(ReallocationError):
+            redistribute_tokens(pool)
+
+    def test_mixed_entities_rejected(self):
+        pool = [
+            SiteTokenState("s0", "VM", 1, 0),
+            SiteTokenState("s1", "DISK", 2, 0),
+        ]
+        with pytest.raises(ReallocationError):
+            redistribute_tokens(pool)
+
+    def test_broken_strategy_is_caught(self):
+        class Leaky:
+            def allocate(self, pool):
+                return {state.site_id: state.tokens_left + 1 for state in pool}
+
+        with pytest.raises(ReallocationError):
+            redistribute_tokens(states((5, 0), (5, 0)), Leaky())
+
+
+# -- property-based coverage ---------------------------------------------
+
+site_states = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    min_size=1,
+    max_size=12,
+).map(lambda triples: states(*triples))
+
+strategies = st.sampled_from(
+    [GreedyMaxUsageReallocator(), ProportionalReallocator(), EqualSplitReallocator()]
+)
+
+
+@settings(max_examples=200)
+@given(pool=site_states, strategy=strategies)
+def test_property_conservation_and_nonnegativity(pool, strategy):
+    granted = redistribute_tokens(pool, strategy)
+    assert sum(granted.values()) == sum(state.tokens_left for state in pool)
+    assert all(amount >= 0 for amount in granted.values())
+    assert set(granted) == {state.site_id for state in pool}
+
+
+@settings(max_examples=200)
+@given(pool=site_states)
+def test_property_greedy_satisfies_all_wants_when_supply_covers_them(pool):
+    spare = sum(state.tokens_left for state in pool)
+    total_wanted = sum(state.tokens_wanted for state in pool)
+    granted = GreedyMaxUsageReallocator().allocate(pool)
+    if total_wanted <= spare:
+        for state in pool:
+            assert granted[state.site_id] >= state.tokens_wanted
+
+
+@settings(max_examples=200)
+@given(pool=site_states)
+def test_property_greedy_usage_at_least_largest_satisfiable_want(pool):
+    """Greedy maximises usage: if ANY single want fits in the pool, the
+    allocation grants at least one want in full."""
+    spare = sum(state.tokens_left for state in pool)
+    wants = [state.tokens_wanted for state in pool if state.tokens_wanted > 0]
+    granted = GreedyMaxUsageReallocator().allocate(pool)
+    if wants and max(wants) <= spare:
+        satisfied = [
+            state
+            for state in pool
+            if state.tokens_wanted > 0
+            and granted[state.site_id] >= state.tokens_wanted
+        ]
+        assert satisfied, "greedy rejected every request although one fits"
+
+
+@settings(max_examples=100)
+@given(pool=site_states)
+def test_property_determinism(pool):
+    first = GreedyMaxUsageReallocator().allocate(pool)
+    second = GreedyMaxUsageReallocator().allocate(list(reversed(pool)))
+    assert first == second

@@ -1,0 +1,132 @@
+"""Tests for app-manager retries and site-side request deduplication."""
+
+from repro.core.client import Operation
+from repro.core.messages import ForwardedRequest
+from repro.core.requests import ClientRequest, RequestKind, RequestStatus
+
+from tests.helpers import MiniCluster, acquire_burst
+
+
+class TestSiteDedup:
+    def _forward(self, mini, request):
+        site = mini.site(0)
+        manager = mini.cluster.app_managers[site.region]
+        site._handle_client(ForwardedRequest(request, reply_to=manager.name))
+
+    def test_duplicate_acquire_executes_once(self):
+        mini = MiniCluster(maximum=300)
+        site = mini.site(0)
+        request = ClientRequest(
+            kind=RequestKind.ACQUIRE, entity_id="VM", amount=10,
+            client="c", region=site.region.value,
+        )
+        self._forward(mini, request)
+        self._forward(mini, request)  # the retry
+        assert site.state.tokens_left == 90
+        assert site.counters["granted_acquires"] == 1
+
+    def test_duplicate_release_executes_once(self):
+        mini = MiniCluster(maximum=300)
+        site = mini.site(0)
+        request = ClientRequest(
+            kind=RequestKind.RELEASE, entity_id="VM", amount=5,
+            client="c", region=site.region.value,
+        )
+        self._forward(mini, request)
+        self._forward(mini, request)
+        assert site.state.tokens_left == 105
+
+    def test_duplicate_gets_the_same_cached_answer(self):
+        mini = MiniCluster(maximum=300)
+        site = mini.site(0)
+        request = ClientRequest(
+            kind=RequestKind.ACQUIRE, entity_id="VM", amount=10,
+            client="c", region=site.region.value,
+        )
+        responses = []
+        mini.network.trace = lambda message: responses.append(message)
+        self._forward(mini, request)
+        self._forward(mini, request)
+        payloads = [m.payload for m in responses if hasattr(m.payload, "response")]
+        assert len(payloads) == 2
+        assert payloads[0].response.status == payloads[1].response.status
+
+    def test_cache_is_bounded(self):
+        mini = MiniCluster(maximum=300)
+        site = mini.site(0)
+        site._RESPONSE_CACHE_LIMIT = 4
+        for index in range(10):
+            request = ClientRequest(
+                kind=RequestKind.RELEASE, entity_id="VM", amount=1,
+                client="c", region=site.region.value,
+            )
+            self._forward(mini, request)
+        assert len(site._response_cache) <= 4
+
+    def test_duplicate_of_queued_request_ignored(self):
+        mini = MiniCluster(maximum=300)
+        site = mini.site(0)
+        request = ClientRequest(
+            kind=RequestKind.ACQUIRE, entity_id="VM", amount=500,  # > local
+            client="c", region=site.region.value,
+        )
+        self._forward(mini, request)
+        assert len(site._pending) == 1
+        self._forward(mini, request)
+        assert len(site._pending) == 1  # duplicate not queued twice
+
+
+class TestAppManagerRetries:
+    def test_crash_after_submit_fails_over_to_next_site(self):
+        mini = MiniCluster(maximum=300)
+        near = mini.site(0)
+        manager = mini.cluster.app_managers[near.region]
+        manager.retry_timeout = 1.0
+        client = mini.client_for(near.region, acquire_burst(1.0, 5, spacing=0.0))
+        client.request_timeout = 30.0
+        # The near site dies while the requests are in flight to it (they
+        # were already submitted and routed, so only a retry saves them).
+        mini.kernel.schedule(1.0001, near.crash)
+        mini.run(until=20.0)
+        # Requests were retried against a live site and committed.
+        assert mini.metrics.committed == 5
+        assert manager.retries >= 5
+        served_elsewhere = sum(
+            site.counters["granted_acquires"] for site in mini.sites[1:]
+        )
+        assert served_elsewhere == 5
+        mini.check()
+
+    def test_slow_site_is_not_retried_elsewhere(self):
+        """While routing still considers the original target healthy, the
+        manager waits instead of risking double execution."""
+        mini = MiniCluster(maximum=300)
+        near = mini.site(0)
+        manager = mini.cluster.app_managers[near.region]
+        manager.retry_timeout = 0.5
+        # Make the site slow: a long redistribution freeze via a fake
+        # active protocol round.
+        request = ClientRequest(
+            kind=RequestKind.ACQUIRE, entity_id="VM", amount=500,
+            client="c", region=near.region.value,
+        )
+        client = mini.client_for(near.region, acquire_burst(1.0, 3, spacing=0.01))
+        client.request_timeout = 60.0
+        mini.run(until=15.0)
+        assert manager.retries == 0
+        assert mini.metrics.committed == 3
+        total_granted = sum(site.counters["granted_acquires"] for site in mini.sites)
+        assert total_granted == 3
+        mini.check()
+
+    def test_everything_crashed_eventually_fails(self):
+        mini = MiniCluster(maximum=300)
+        manager = mini.cluster.app_managers[mini.site(0).region]
+        manager.retry_timeout = 0.5
+        client = mini.client_for(mini.site(0).region, acquire_burst(1.0, 2))
+        client.request_timeout = 60.0
+        for site in mini.sites:
+            mini.kernel.schedule(0.5, site.crash)
+        mini.run(until=30.0)
+        assert mini.metrics.failed == 2
+        assert mini.metrics.committed == 0

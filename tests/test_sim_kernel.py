@@ -1,0 +1,148 @@
+"""Tests for the discrete-event kernel: ordering, cancellation, clocks."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Kernel, SimulationError
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(3.0, seen.append, (3,))
+        queue.push(1.0, seen.append, (1,))
+        queue.push(2.0, seen.append, (2,))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert seen == [1, 2, 3]
+
+    def test_equal_times_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        seen = []
+        for tag in range(10):
+            queue.push(5.0, seen.append, (tag,))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert seen == list(range(10))
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        seen = []
+        keep = queue.push(1.0, seen.append, ("keep",))
+        drop = queue.push(0.5, seen.append, ("drop",))
+        drop.cancel()
+        event = queue.pop()
+        event.fire()
+        assert seen == ["keep"]
+        assert queue.pop() is None
+        assert keep is not drop
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestKernel:
+    def test_clock_advances_to_event_times(self):
+        kernel = Kernel()
+        times = []
+        kernel.schedule(1.5, lambda: times.append(kernel.now))
+        kernel.schedule(0.5, lambda: times.append(kernel.now))
+        kernel.run()
+        assert times == [0.5, 1.5]
+
+    def test_run_until_stops_and_advances_clock(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, 1)
+        kernel.schedule(5.0, fired.append, 5)
+        kernel.run(until=2.0)
+        assert fired == [1]
+        assert kernel.now == 2.0
+        kernel.run(until=6.0)
+        assert fired == [1, 5]
+
+    def test_scheduling_in_the_past_raises(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-0.1, lambda: None)
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        kernel = Kernel()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                kernel.schedule(1.0, chain, depth + 1)
+
+        kernel.schedule(0.0, chain, 0)
+        kernel.run()
+        assert seen == [0, 1, 2, 3]
+        assert kernel.now == 3.0
+
+    def test_max_events_budget(self):
+        kernel = Kernel()
+        seen = []
+        for index in range(10):
+            kernel.schedule(float(index), seen.append, index)
+        kernel.run(max_events=4)
+        assert seen == [0, 1, 2, 3]
+
+    def test_events_fired_counter(self):
+        kernel = Kernel()
+        for index in range(5):
+            kernel.schedule(float(index), lambda: None)
+        kernel.run()
+        assert kernel.events_fired == 5
+
+    def test_determinism_across_instances(self):
+        def trajectory(seed):
+            kernel = Kernel(seed=seed)
+            rng = kernel.rng.stream("x")
+            values = []
+            for _ in range(20):
+                kernel.schedule(rng.random(), lambda: values.append(kernel.now))
+            kernel.run()
+            return values
+
+        assert trajectory(42) == trajectory(42)
+        assert trajectory(42) != trajectory(43)
+
+
+class TestRngRegistry:
+    def test_streams_are_stable_and_independent(self):
+        kernel = Kernel(seed=7)
+        a1 = [kernel.rng.stream("a").random() for _ in range(5)]
+        b1 = [kernel.rng.stream("b").random() for _ in range(5)]
+        kernel2 = Kernel(seed=7)
+        b2 = [kernel2.rng.stream("b").random() for _ in range(5)]
+        a2 = [kernel2.rng.stream("a").random() for _ in range(5)]
+        # Order of stream creation does not matter.
+        assert a1 == a2
+        assert b1 == b2
+        assert a1 != b1
+
+    def test_fork_derives_new_seed(self):
+        kernel = Kernel(seed=7)
+        fork = kernel.rng.fork("child")
+        assert fork.master_seed != kernel.rng.master_seed
+        assert fork.stream("a").random() != kernel.rng.stream("a").random()

@@ -1,0 +1,117 @@
+"""Tests for stable storage and the write-ahead log."""
+
+import pytest
+
+from repro.storage.store import StableStore
+from repro.storage.wal import LogEntry, WriteAheadLog
+
+
+class TestStableStore:
+    def test_round_trip(self):
+        store = StableStore("s")
+        store.put("k", {"a": 1})
+        assert store.get("k") == {"a": 1}
+
+    def test_get_default(self):
+        store = StableStore("s")
+        assert store.get("missing") is None
+        assert store.get("missing", 7) == 7
+
+    def test_stored_value_isolated_from_later_mutation(self):
+        store = StableStore("s")
+        value = {"tokens": 10}
+        store.put("k", value)
+        value["tokens"] = 0
+        assert store.get("k") == {"tokens": 10}
+
+    def test_read_value_isolated_from_store(self):
+        store = StableStore("s")
+        store.put("k", {"tokens": 10})
+        read = store.get("k")
+        read["tokens"] = 0
+        assert store.get("k") == {"tokens": 10}
+
+    def test_contains_and_delete(self):
+        store = StableStore("s")
+        store.put("k", 1)
+        assert "k" in store
+        store.delete("k")
+        assert "k" not in store
+
+    def test_wipe(self):
+        store = StableStore("s")
+        store.put("a", 1)
+        store.put("b", 2)
+        store.wipe()
+        assert store.get("a") is None and store.get("b") is None
+
+    def test_counters(self):
+        store = StableStore("s")
+        store.put("a", 1)
+        store.get("a")
+        store.get("b")
+        assert store.writes == 1
+        assert store.reads == 2
+
+    def test_none_value_distinct_from_missing(self):
+        store = StableStore("s")
+        store.put("k", None)
+        assert store.get("k", "default") is None
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_sequential_indices(self):
+        log = WriteAheadLog()
+        first = log.append(1, "a")
+        second = log.append(1, "b")
+        assert (first.index, second.index) == (1, 2)
+        assert log.last_index == 2
+
+    def test_term_tracking(self):
+        log = WriteAheadLog()
+        log.append(1, "a")
+        log.append(3, "b")
+        assert log.last_term == 3
+        assert log.term_at(1) == 1
+        assert log.term_at(0) == 0
+
+    def test_term_at_out_of_range_raises(self):
+        log = WriteAheadLog()
+        with pytest.raises(IndexError):
+            log.term_at(1)
+
+    def test_get_out_of_range_returns_none(self):
+        log = WriteAheadLog()
+        log.append(1, "a")
+        assert log.get(0) is None
+        assert log.get(2) is None
+        assert log.get(1).command == "a"
+
+    def test_slice_from(self):
+        log = WriteAheadLog()
+        for index in range(5):
+            log.append(1, index)
+        assert [entry.command for entry in log.slice_from(3)] == [2, 3, 4]
+        assert [entry.command for entry in log.slice_from(0)] == [0, 1, 2, 3, 4]
+        assert log.slice_from(6) == []
+
+    def test_truncate_from(self):
+        log = WriteAheadLog()
+        for index in range(5):
+            log.append(1, index)
+        log.truncate_from(3)
+        assert log.last_index == 2
+        with pytest.raises(IndexError):
+            log.truncate_from(0)
+
+    def test_append_entry_must_extend(self):
+        log = WriteAheadLog()
+        log.append_entry(LogEntry(1, 1, "a"))
+        with pytest.raises(IndexError):
+            log.append_entry(LogEntry(3, 1, "c"))
+
+    def test_iteration(self):
+        log = WriteAheadLog()
+        log.append(1, "a")
+        log.append(2, "b")
+        assert [entry.command for entry in log] == ["a", "b"]

@@ -1,0 +1,198 @@
+"""Tests for the synthetic trace and the workload pipeline (§5.1)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.requests import RequestKind
+from repro.net.regions import PAPER_REGIONS, Region
+from repro.workload.phase_shift import phase_shift_intervals, shifted_trace
+from repro.workload.readwrite import mix_reads
+from repro.workload.requests import (
+    demand_per_compressed_interval,
+    operations_from_trace,
+    regional_operations,
+)
+from repro.workload.trace import SyntheticAzureTrace, TraceConfig
+
+
+def small_trace(**overrides):
+    defaults = dict(days=4.0, seed=7)
+    defaults.update(overrides)
+    return SyntheticAzureTrace(TraceConfig(**defaults))
+
+
+class TestTraceGenerator:
+    def test_deterministic_for_seed(self):
+        a = small_trace()
+        b = small_trace()
+        assert np.array_equal(a.creations, b.creations)
+        assert np.array_equal(a.deletions, b.deletions)
+
+    def test_different_seed_differs(self):
+        assert not np.array_equal(small_trace().creations, small_trace(seed=8).creations)
+
+    def test_lengths_match_config(self):
+        trace = small_trace()
+        assert len(trace.creations) == trace.config.num_intervals
+        assert trace.config.num_intervals == 4 * 288
+
+    def test_counts_are_non_negative_integers(self):
+        trace = small_trace()
+        assert trace.creations.min() >= 0
+        assert trace.deletions.min() >= 0
+
+    def test_outstanding_is_cumsum_consistent(self):
+        trace = small_trace()
+        alive = np.cumsum(trace.creations) - np.cumsum(trace.deletions)
+        assert np.array_equal(alive, trace.outstanding)
+        assert trace.outstanding.min() >= 0
+
+    def test_strong_daily_periodicity(self):
+        trace = SyntheticAzureTrace(TraceConfig(days=14.0))
+        assert trace.autocorrelation(288) > 0.7
+
+    def test_weekend_demand_is_lower(self):
+        trace = SyntheticAzureTrace(TraceConfig(days=14.0, weekend_factor=0.5))
+        per_day = trace.config.intervals_per_day
+        day_of_week = (np.arange(len(trace.creations)) // per_day) % 7
+        weekday = trace.creations[day_of_week < 5].mean()
+        weekend = trace.creations[day_of_week >= 5].mean()
+        assert weekend < 0.75 * weekday
+
+    def test_peaks_exceed_mean_substantially(self):
+        stats = small_trace().demand_stats()
+        assert stats["max"] > 2.0 * stats["mean"]
+
+    def test_autocorrelation_bad_lag(self):
+        with pytest.raises(ValueError):
+            small_trace().autocorrelation(0)
+
+
+class TestPhaseShift:
+    def test_shift_in_intervals(self):
+        assert phase_shift_intervals(Region.ASIA_EAST2, Region.EUROPE_WEST2, 300.0) == 96
+        assert phase_shift_intervals(Region.US_WEST1, Region.EUROPE_WEST2, 300.0) == -96
+
+    def test_base_region_unshifted(self):
+        trace = small_trace()
+        creations, _ = shifted_trace(trace, Region.US_WEST1, Region.US_WEST1)
+        assert np.array_equal(creations, trace.creations)
+
+    def test_shift_preserves_totals(self):
+        trace = small_trace()
+        creations, deletions = shifted_trace(trace, Region.ASIA_EAST2)
+        assert creations.sum() == trace.creations.sum()
+        assert deletions.sum() == trace.deletions.sum()
+
+    def test_regions_peak_at_different_times(self):
+        trace = SyntheticAzureTrace(TraceConfig(days=7.0))
+        peaks = {}
+        for region in (Region.US_WEST1, Region.ASIA_EAST2):
+            creations, _ = shifted_trace(trace, region)
+            day = creations[:288]
+            peaks[region] = int(np.argmax(day))
+        assert peaks[Region.US_WEST1] != peaks[Region.ASIA_EAST2]
+
+
+class TestOperations:
+    def test_operations_sorted_by_time(self):
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 5.0, 60.0, random.Random(1), lifetime_intervals=6.0
+        )
+        times = [op.time for op in ops]
+        assert times == sorted(times)
+
+    def test_every_release_is_preceded_by_capacity(self):
+        """Replaying the stream never releases more than was acquired."""
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 5.0, 120.0, random.Random(1), lifetime_intervals=3.0
+        )
+        outstanding = 0
+        for op in ops:
+            if op.kind is RequestKind.ACQUIRE:
+                outstanding += op.amount
+            else:
+                outstanding -= op.amount
+                assert outstanding >= 0
+
+    def test_acquire_counts_match_trace_window(self):
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 5.0, 50.0, random.Random(1), lifetime_intervals=6.0
+        )
+        acquires = sum(1 for op in ops if op.kind is RequestKind.ACQUIRE)
+        assert acquires == int(trace.creations[:10].sum())
+
+    def test_compression_packs_interval_into_window(self):
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 2.0, 2.0, random.Random(1), lifetime_intervals=6.0,
+            start_interval=12,
+        )
+        acquires = [op for op in ops if op.kind is RequestKind.ACQUIRE]
+        assert len(acquires) == int(trace.creations[12])
+        assert all(0.0 <= op.time < 2.0 for op in acquires)
+
+    def test_invalid_parameters(self):
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            operations_from_trace(trace.creations, 0.0, 10.0, random.Random(1))
+        with pytest.raises(ValueError):
+            operations_from_trace(
+                trace.creations, 5.0, 10.0, random.Random(1), lifetime_intervals=0.0
+            )
+
+    def test_regional_operations_cover_all_regions(self):
+        trace = small_trace()
+        per_region = regional_operations(trace, list(PAPER_REGIONS), duration=30.0)
+        assert set(per_region) == set(PAPER_REGIONS)
+        assert all(ops for ops in per_region.values())
+
+    def test_demand_scale_thins_the_stream(self):
+        trace = small_trace()
+        full = regional_operations(trace, [Region.US_WEST1], duration=60.0)
+        half = regional_operations(
+            trace, [Region.US_WEST1], duration=60.0, demand_scale=0.5
+        )
+        assert len(half[Region.US_WEST1]) < 0.7 * len(full[Region.US_WEST1])
+
+    def test_demand_series_matches_shifted_creations(self):
+        trace = small_trace()
+        series = demand_per_compressed_interval(trace, Region.ASIA_EAST2)
+        creations, _ = shifted_trace(trace, Region.ASIA_EAST2)
+        assert np.array_equal(series, creations)
+
+
+class TestReadMixing:
+    def test_ratio_zero_is_identity(self):
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 5.0, 30.0, random.Random(1), lifetime_intervals=6.0
+        )
+        assert mix_reads(ops, 0.0, random.Random(2)) == ops
+
+    def test_ratio_replaces_expected_fraction(self):
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 5.0, 120.0, random.Random(1), lifetime_intervals=6.0
+        )
+        mixed = mix_reads(ops, 0.5, random.Random(2))
+        reads = sum(1 for op in mixed if op.kind is RequestKind.READ)
+        assert 0.4 < reads / len(mixed) < 0.6
+        assert len(mixed) == len(ops)
+
+    def test_ratio_one_is_all_reads(self):
+        trace = small_trace()
+        ops = operations_from_trace(
+            trace.creations, 5.0, 30.0, random.Random(1), lifetime_intervals=6.0
+        )
+        mixed = mix_reads(ops, 1.0, random.Random(2))
+        assert all(op.kind is RequestKind.READ for op in mixed)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            mix_reads([], 1.5, random.Random(1))
