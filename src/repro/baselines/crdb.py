@@ -11,9 +11,8 @@ from repro.baselines.raft.node import RaftConfig, RaftNode
 from repro.core.app_manager import AppManager, FixedTargetRouting
 from repro.core.client import WorkloadClient
 from repro.core.entity import Entity
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import PAPER_REGIONS, Region
-from repro.sim.kernel import Kernel
 
 
 class CockroachLikeCluster:
@@ -21,8 +20,8 @@ class CockroachLikeCluster:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Clock,
+        network: Transport,
         entity: Entity,
         client_regions: Sequence[Region],
         replica_regions: Sequence[Region] = PAPER_REGIONS,

@@ -31,9 +31,8 @@ from repro.core.messages import ForwardedRequest, SiteResponse
 from repro.core.requests import ClientResponse, RequestKind, RequestStatus
 from repro.metrics.invariants import ConservationChecker, InvariantViolation
 from repro.net.message import Message
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import Region, rtt
-from repro.sim.kernel import Kernel
 from repro.sim.process import Actor
 
 
@@ -72,10 +71,10 @@ class EscrowSite(Actor):
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Clock,
         name: str,
         region: Region,
-        network: Network,
+        network: Transport,
         entity: Entity,
         initial_tokens: int,
         config: DemarcationConfig | None = None,
@@ -331,8 +330,8 @@ class DemarcationCluster:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Clock,
+        network: Transport,
         entity: Entity,
         regions: Sequence[Region],
         config: DemarcationConfig | None = None,

@@ -14,9 +14,8 @@ from repro.baselines.paxos.replica import PaxosConfig, PaxosReplica
 from repro.core.app_manager import AppManager, FixedTargetRouting
 from repro.core.client import WorkloadClient
 from repro.core.entity import Entity
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import MULTIPAXSYS_REGIONS, Region
-from repro.sim.kernel import Kernel
 
 
 class MultiPaxSysCluster:
@@ -24,8 +23,8 @@ class MultiPaxSysCluster:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Clock,
+        network: Transport,
         entity: Entity,
         client_regions: Sequence[Region],
         replica_regions: Sequence[Region] = MULTIPAXSYS_REGIONS,

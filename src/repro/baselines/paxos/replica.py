@@ -31,9 +31,8 @@ from repro.baselines.statemachine import TokenCommand, TokenStateMachine
 from repro.core.messages import ForwardedRequest, SiteResponse
 from repro.core.requests import ClientResponse, RequestKind, RequestStatus
 from repro.net.message import Message
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import Region
-from repro.sim.kernel import Kernel
 from repro.sim.process import Actor
 from repro.storage.wal import LogEntry, WriteAheadLog
 
@@ -55,10 +54,10 @@ class PaxosReplica(Actor):
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Clock,
         name: str,
         region: Region,
-        network: Network,
+        network: Transport,
         maxima: dict[str, int],
         config: PaxosConfig | None = None,
         is_initial_leader: bool = False,

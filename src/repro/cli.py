@@ -3,6 +3,8 @@
 Examples::
 
     python -m repro run --system samya-majority --duration 120
+    python -m repro run --mode live --duration 5
+    python -m repro live --system samya-majority --duration 10
     python -m repro compare --systems samya-majority,multipaxsys
     python -m repro predict --models random-walk,arima,lstm
     python -m repro trace --days 7
@@ -30,6 +32,7 @@ from repro.workload.trace import SyntheticAzureTrace, TraceConfig
 def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         system=args.system if hasattr(args, "system") else "samya-majority",
+        mode=getattr(args, "mode", "sim"),
         duration=args.duration,
         maximum=args.maximum,
         seed=args.seed,
@@ -59,17 +62,47 @@ def _result_rows(result) -> list[list[object]]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(_base_config(args))
+    kind = "wall-clock (live)" if getattr(args, "mode", "sim") == "live" else "simulated"
     print(
         format_table(
             ["metric", "value"],
             _result_rows(result),
-            title=f"{args.system} — {args.duration:.0f}s simulated",
+            title=f"{args.system} — {args.duration:.0f}s {kind}",
         )
     )
     if args.series:
         samples = [(t, v) for t, v in result.throughput_series if int(t) % 10 == 0]
         print()
         print(format_series(samples, title="throughput", x_label="t (s)", y_label="tps"))
+    return 0
+
+
+def cmd_live(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import LiveCluster
+    from repro.runtime.metrics import live_stats_rows
+
+    config = _base_config(args)
+    report = LiveCluster(
+        config, transport=args.transport, latency_scale=args.latency_scale
+    ).run()
+    print(
+        format_table(
+            ["metric", "value"],
+            _result_rows(report.result),
+            title=(
+                f"{args.system} — {args.duration:.0f}s wall-clock, "
+                f"{report.transport} transport"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["substrate", "value"],
+            live_stats_rows(report.stats),
+            title="live-run health",
+        )
+    )
     return 0
 
 
@@ -177,10 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one system under trace load")
     run_parser.add_argument("--system", choices=SYSTEMS, default="samya-majority")
+    run_parser.add_argument("--mode", choices=("sim", "live"), default="sim",
+                            help="execution substrate: discrete-event sim "
+                                 "(default) or live asyncio (wall-clock!)")
     run_parser.add_argument("--series", action="store_true",
                             help="also print the throughput series")
     _add_experiment_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    live_parser = sub.add_parser(
+        "live",
+        help="run one system live on asyncio or TCP (wall-clock duration)",
+    )
+    live_parser.add_argument("--system", choices=SYSTEMS, default="samya-majority")
+    live_parser.add_argument("--transport", choices=("asyncio", "tcp"),
+                             default="asyncio")
+    live_parser.add_argument(
+        "--latency-scale", type=float, default=0.05,
+        help="compression of the WAN latency matrix (asyncio transport)",
+    )
+    _add_experiment_args(live_parser)
+    # Live duration is wall-clock; the sim default of 120 s would be a
+    # two-minute hang, so default to a short run.
+    live_parser.set_defaults(func=cmd_live, mode="live", duration=10.0)
 
     compare_parser = sub.add_parser("compare", help="run several systems on the same load")
     compare_parser.add_argument(

@@ -16,9 +16,8 @@ from typing import Protocol
 from repro.core.messages import ForwardedRequest, SiteResponse
 from repro.core.requests import ClientRequest, ClientResponse, RequestStatus
 from repro.net.message import Message
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import Region
-from repro.sim.kernel import Kernel
 from repro.sim.process import Actor
 
 
@@ -38,7 +37,7 @@ class ClosestRegionRouting:
     region (the §5.7 scalability setups), requests round-robin over them.
     """
 
-    def __init__(self, network: Network, sites: list) -> None:
+    def __init__(self, network: Transport, sites: list) -> None:
         self._network = network
         self._sites = list(sites)
         self._rotation = 0
@@ -93,10 +92,10 @@ class AppManager(Actor):
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Clock,
         name: str,
         region: Region,
-        network: Network,
+        network: Transport,
         routing: RoutingPolicy,
     ) -> None:
         super().__init__(kernel, name)

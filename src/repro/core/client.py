@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.core.requests import ClientRequest, ClientResponse, RequestKind, RequestStatus
 from repro.net.regions import Region
-from repro.sim.kernel import Kernel
+from repro.net.transport import Clock
 from repro.sim.process import Actor
 
 
@@ -34,7 +34,7 @@ class WorkloadClient(Actor):
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Clock,
         name: str,
         region: Region,
         app_manager,

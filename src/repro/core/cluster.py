@@ -15,10 +15,9 @@ from repro.core.config import SamyaConfig
 from repro.core.entity import Entity
 from repro.core.reallocation import Reallocator
 from repro.core.site import SamyaSite
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import Region
 from repro.prediction.base import Predictor
-from repro.sim.kernel import Kernel
 
 
 def split_initial_allocation(maximum: int, sites: int) -> list[int]:
@@ -34,8 +33,8 @@ class SamyaCluster:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Clock,
+        network: Transport,
         entity: Entity,
         regions: Sequence[Region],
         sites_per_region: int = 1,

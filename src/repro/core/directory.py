@@ -28,9 +28,8 @@ from repro.core.entity import Entity
 from repro.core.requests import ClientRequest
 from repro.core.site import SamyaSite
 from repro.metrics.invariants import ConservationChecker
-from repro.net.network import Network
+from repro.net.transport import Clock, Transport
 from repro.net.regions import Region
-from repro.sim.kernel import Kernel
 
 
 @dataclass
@@ -70,10 +69,10 @@ class DirectoryAppManager(AppManager):
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Clock,
         name: str,
         region: Region,
-        network: Network,
+        network: Transport,
         directory: EntityDirectory,
     ) -> None:
         super().__init__(kernel, name, region, network, routing=_DirectoryRouting(directory))
@@ -103,8 +102,8 @@ class MultiEntityDeployment:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Clock,
+        network: Transport,
         regions: Sequence[Region],
         specs: Sequence[EntitySpec],
     ) -> None:

@@ -34,10 +34,9 @@ from repro.core.messages import (
 from repro.core.reallocation import Reallocator, redistribute_tokens
 from repro.core.requests import ClientResponse, RequestKind, RequestStatus
 from repro.net.message import Message
-from repro.net.network import Network
 from repro.net.regions import Region
+from repro.net.transport import Clock, Transport
 from repro.prediction.base import DemandHistory, Predictor
-from repro.sim.kernel import Kernel
 from repro.sim.process import Actor
 from repro.storage.store import StableStore
 
@@ -49,10 +48,10 @@ class SamyaSite(Actor):
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Clock,
         name: str,
         region: Region,
-        network: Network,
+        network: Transport,
         entity: Entity,
         initial_tokens: int,
         config: SamyaConfig | None = None,
@@ -80,6 +79,11 @@ class SamyaSite(Actor):
         # the duplicate must not execute twice.
         self._response_cache: dict[int, ClientResponse] = {}
         self._response_order: deque[int] = deque()
+        # Envelope dedup: a live transport may retransmit an unconfirmed
+        # frame after a reconnect, so the same msg_id can arrive twice.
+        # Sim transports mint a fresh envelope per send and never hit this.
+        self._seen_msg_ids: set[int] = set()
+        self._seen_msg_order: deque[int] = deque()
         self._busy_until = 0.0
         self._draining = False
         self._last_proactive_check = -math.inf
@@ -123,15 +127,30 @@ class SamyaSite(Actor):
 
     # -- message entry / service-time model -----------------------------------
 
+    _MSG_DEDUP_LIMIT = 8192
+
     def on_message(self, message: Message) -> None:
         """Queue the message behind in-progress work, then dispatch.
 
         The site is modelled as a single server: each message costs a
         service time and waits behind earlier work, which is what turns
         offered load into finite throughput and queueing latency.
+
+        At-least-once delivery is deduplicated at two levels: retried
+        *requests* (app-manager failover) by request_id in
+        ``_handle_client``, and retransmitted *envelopes* (a live
+        transport resending an unconfirmed frame) by ``msg_id`` here —
+        together they keep effects exactly-once over a lossy real
+        socket, not just in sim.
         """
         if self.crashed:
             return
+        if message.msg_id in self._seen_msg_ids:
+            return  # duplicate frame: already queued/processed once
+        self._seen_msg_ids.add(message.msg_id)
+        self._seen_msg_order.append(message.msg_id)
+        if len(self._seen_msg_order) > self._MSG_DEDUP_LIMIT:
+            self._seen_msg_ids.discard(self._seen_msg_order.popleft())
         cost = (
             self.config.service_time
             if isinstance(message.payload, ForwardedRequest)

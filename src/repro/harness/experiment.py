@@ -69,6 +69,10 @@ class ExperimentConfig:
     """Everything one run needs; defaults follow §5.2."""
 
     system: str = "samya-majority"
+    #: Execution substrate: "sim" runs on the discrete-event kernel,
+    #: "live" on the asyncio runtime (see repro.runtime).  Live runs
+    #: use *wall-clock* duration — keep it small.
+    mode: str = "sim"
     duration: float = 600.0
     regions: tuple[Region, ...] = tuple(PAPER_REGIONS)
     sites_per_region: int = 1
@@ -130,6 +134,8 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown initial_allocation {self.initial_allocation!r}"
             )
+        if self.mode not in ("sim", "live"):
+            raise ValueError(f"unknown mode {self.mode!r}; pick 'sim' or 'live'")
 
 
 @dataclass
@@ -163,13 +169,23 @@ class ExperimentResult:
 
 
 class Experiment:
-    """A built, not-yet-run experiment; exposes internals for tests."""
+    """A built, not-yet-run experiment; exposes internals for tests.
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    By default the experiment builds its own sim substrate (Kernel +
+    Network).  A caller may inject any :class:`repro.net.transport.Clock`
+    / ``Transport`` pair instead — that is how ``repro.runtime`` reuses
+    this builder unchanged for live asyncio and TCP runs.
+    """
+
+    def __init__(self, config: ExperimentConfig, kernel=None, network=None) -> None:
         self.config = config
-        self.kernel = Kernel(seed=config.seed)
-        self.network = Network(
-            self.kernel, NetworkConfig(loss_probability=config.loss_probability)
+        self.kernel = kernel if kernel is not None else Kernel(seed=config.seed)
+        self.network = (
+            network
+            if network is not None
+            else Network(
+                self.kernel, NetworkConfig(loss_probability=config.loss_probability)
+            )
         )
         self.trace = SyntheticAzureTrace(config.trace)
         self.entity = Entity(config.entity_id, config.maximum)
@@ -376,14 +392,24 @@ class Experiment:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self) -> ExperimentResult:
+    def start(self) -> None:
+        """Install the periodic safety audit and release the clients.
+
+        Split from :meth:`collect` so a live launcher can start the
+        deployment, let the asyncio loop run for wall-clock duration,
+        and only then gather results; ``run`` composes both around the
+        sim kernel.
+        """
         config = self.config
         if self.checker is not None and config.invariant_interval > 0:
             self.checker.install_periodic(
                 self.kernel, config.invariant_interval, config.duration
             )
         self.cluster.start()
-        self.kernel.run(until=config.duration)
+
+    def collect(self) -> ExperimentResult:
+        """Final safety check + measurement assembly (after the run)."""
+        config = self.config
         if self.checker is not None:
             self.checker.check()
         tokens_left = None
@@ -417,12 +443,23 @@ class Experiment:
             invariant_checks=self.checker.checks if self.checker else 0,
         )
 
+    def run(self) -> ExperimentResult:
+        self.start()
+        self.kernel.run(until=self.config.duration)
+        return self.collect()
+
 
 def build_experiment(config: ExperimentConfig) -> Experiment:
     return Experiment(config)
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    if config.mode == "live":
+        # Imported lazily: the sim path must not depend on the runtime
+        # package (and the runtime package imports this module).
+        from repro.runtime.cluster import run_live
+
+        return run_live(config)
     return Experiment(config).run()
 
 

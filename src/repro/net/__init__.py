@@ -13,6 +13,7 @@ from repro.net.message import Message
 from repro.net.network import Endpoint, Network, NetworkConfig
 from repro.net.partition import PartitionController
 from repro.net.faults import CrashController, FaultEvent
+from repro.net.transport import Clock, Transport
 
 __all__ = [
     "Region",
@@ -25,4 +26,6 @@ __all__ = [
     "PartitionController",
     "CrashController",
     "FaultEvent",
+    "Clock",
+    "Transport",
 ]

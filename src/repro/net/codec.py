@@ -1,0 +1,241 @@
+"""Wire codec for protocol messages: dataclasses <-> length-prefixed bytes.
+
+The sim transport passes payload objects by reference, so nothing in the
+discrete-event path ever serializes.  The live TCP transport cannot: a
+:class:`~repro.net.message.Message` must survive a real socket.  This
+module keeps an explicit **registry** of every wire dataclass (and enum)
+and encodes them as JSON with type tags, recursively, preserving tuples
+and nested dataclasses so a decoded value compares equal to the original.
+
+Registration is deliberately explicit, not reflective: adding a new
+protocol message without registering it here is an error the moment it
+crosses a socket, and ``tests/test_codec.py`` fails fast at test time by
+scanning the message modules for unregistered dataclasses.
+
+Frame format used by the TCP transport: a 4-byte big-endian length
+followed by that many bytes of the JSON document.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+#: Frame header: payload byte length, unsigned 32-bit big-endian.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Hard cap on a single frame (16 MiB) — a corrupt length prefix must
+#: not make the reader allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class CodecError(ValueError):
+    """Raised for unregistered types and malformed wire data."""
+
+
+_DATACLASSES: dict[str, type] = {}
+_ENUMS: dict[str, type] = {}
+_bootstrapped = False
+
+
+def register(cls: type) -> type:
+    """Register a wire dataclass or enum under its class name."""
+    name = cls.__name__
+    table = _ENUMS if issubclass(cls, enum.Enum) else _DATACLASSES
+    if not issubclass(cls, enum.Enum) and not is_dataclass(cls):
+        raise CodecError(f"{name} is neither a dataclass nor an Enum")
+    existing = table.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"codec name collision on {name!r}")
+    table[name] = cls
+    return cls
+
+
+def registered_dataclasses() -> dict[str, type]:
+    _ensure_bootstrap()
+    return dict(_DATACLASSES)
+
+
+def registered_enums() -> dict[str, type]:
+    _ensure_bootstrap()
+    return dict(_ENUMS)
+
+
+def _ensure_bootstrap() -> None:
+    """Register every built-in wire type.
+
+    Imports happen lazily so :mod:`repro.net.codec` can be imported from
+    low layers without dragging in core/baselines at module load.
+    """
+    global _bootstrapped
+    if _bootstrapped:
+        return
+    _bootstrapped = True
+
+    from repro.baselines.demarcation import BorrowGrant, BorrowRequest
+    from repro.baselines.paxos import messages as paxos_messages
+    from repro.baselines.raft import messages as raft_messages
+    from repro.baselines.statemachine import TokenCommand
+    from repro.core import messages as core_messages
+    from repro.core.avantan.state import AcceptValue, Ballot
+    from repro.core.entity import SiteTokenState
+    from repro.core.requests import (
+        ClientRequest,
+        ClientResponse,
+        RequestKind,
+        RequestStatus,
+    )
+    from repro.net.message import Message
+    from repro.net.regions import Region
+    from repro.storage.wal import LogEntry
+
+    for cls in (
+        # envelope
+        Message,
+        # client-facing transactions
+        ClientRequest,
+        ClientResponse,
+        # Samya / Avantan (core.messages plus its value types)
+        core_messages.ForwardedRequest,
+        core_messages.SiteResponse,
+        core_messages.ElectionGetValue,
+        core_messages.ElectionOkValue,
+        core_messages.ElectionReject,
+        core_messages.AcceptValueMsg,
+        core_messages.AcceptOk,
+        core_messages.DecisionMsg,
+        core_messages.DiscardRedistribution,
+        core_messages.AbortRedistribution,
+        core_messages.RecoveryQuery,
+        core_messages.RecoveryReply,
+        core_messages.TokenInfoRequest,
+        core_messages.TokenInfoReply,
+        Ballot,
+        AcceptValue,
+        SiteTokenState,
+        # replicated-log baselines
+        paxos_messages.Prepare,
+        paxos_messages.Promise,
+        paxos_messages.Accept,
+        paxos_messages.Accepted,
+        paxos_messages.AcceptNack,
+        paxos_messages.Backfill,
+        paxos_messages.Heartbeat,
+        raft_messages.RequestVote,
+        raft_messages.RequestVoteReply,
+        raft_messages.AppendEntries,
+        raft_messages.AppendEntriesReply,
+        LogEntry,
+        TokenCommand,
+        # demarcation/escrow baseline
+        BorrowRequest,
+        BorrowGrant,
+        # enums reached through the above
+        RequestKind,
+        RequestStatus,
+        Region,
+    ):
+        register(cls)
+
+
+# -- object <-> JSON-safe tree ---------------------------------------------
+
+
+def _to_wire(obj: Any) -> Any:
+    # Enums first: str/int-mixin enums (RequestStatus, Region, ...) are
+    # also primitive instances and must not fall through untagged.
+    if isinstance(obj, enum.Enum):
+        _ensure_bootstrap()
+        name = type(obj).__name__
+        if _ENUMS.get(name) is not type(obj):
+            raise CodecError(f"enum {name} is not registered with the codec")
+        return {"__enum__": name, "v": obj.value}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if is_dataclass(obj) and not isinstance(obj, type):
+        _ensure_bootstrap()
+        name = type(obj).__name__
+        if _DATACLASSES.get(name) is not type(obj):
+            raise CodecError(
+                f"{name} is not registered with the codec — add it to "
+                f"repro.net.codec's registry before sending it on a socket"
+            )
+        return {
+            "__dc__": name,
+            "f": {f.name: _to_wire(getattr(obj, f.name)) for f in fields(obj)},
+        }
+    if isinstance(obj, tuple):
+        return {"__tuple__": [_to_wire(item) for item in obj]}
+    if isinstance(obj, list):
+        return [_to_wire(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        # Deterministic wire order so identical values encode identically.
+        return {"__set__": sorted((_to_wire(item) for item in obj), key=repr)}
+    if isinstance(obj, dict):
+        return {"__map__": [[_to_wire(k), _to_wire(v)] for k, v in obj.items()]}
+    raise CodecError(f"cannot encode {type(obj).__name__} for the wire")
+
+
+def _from_wire(node: Any) -> Any:
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    if isinstance(node, list):
+        return [_from_wire(item) for item in node]
+    if isinstance(node, dict):
+        if "__dc__" in node:
+            _ensure_bootstrap()
+            cls = _DATACLASSES.get(node["__dc__"])
+            if cls is None:
+                raise CodecError(f"unknown wire dataclass {node['__dc__']!r}")
+            kwargs = {key: _from_wire(value) for key, value in node["f"].items()}
+            return cls(**kwargs)
+        if "__enum__" in node:
+            _ensure_bootstrap()
+            cls = _ENUMS.get(node["__enum__"])
+            if cls is None:
+                raise CodecError(f"unknown wire enum {node['__enum__']!r}")
+            return cls(node["v"])
+        if "__tuple__" in node:
+            return tuple(_from_wire(item) for item in node["__tuple__"])
+        if "__set__" in node:
+            return frozenset(_from_wire(item) for item in node["__set__"])
+        if "__map__" in node:
+            return {_from_wire(k): _from_wire(v) for k, v in node["__map__"]}
+        raise CodecError(f"malformed wire node: {sorted(node)}")
+    raise CodecError(f"cannot decode wire node of type {type(node).__name__}")
+
+
+# -- public surface ---------------------------------------------------------
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize any registered wire object to JSON bytes."""
+    return json.dumps(_to_wire(obj), separators=(",", ":")).encode("utf-8")
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`."""
+    try:
+        node = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed wire bytes: {exc}") from exc
+    return _from_wire(node)
+
+
+def encode_frame(obj: Any) -> bytes:
+    """``encode`` plus the 4-byte length prefix the TCP transport uses."""
+    body = encode(obj)
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+def decode_frame_length(header: bytes) -> int:
+    """Validated payload length from a 4-byte frame header."""
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return length

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.net.network import Network
-from repro.sim.kernel import Kernel
+from repro.net.transport import Clock, Transport
 from repro.sim.process import Actor
 
 
@@ -63,7 +62,7 @@ class FaultSchedule:
 class CrashController:
     """Applies a :class:`FaultSchedule` to a set of actors and a network."""
 
-    def __init__(self, kernel: Kernel, network: Network) -> None:
+    def __init__(self, kernel: Clock, network: Transport) -> None:
         self.kernel = kernel
         self.network = network
         self._actors: dict[str, Actor] = {}

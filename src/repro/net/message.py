@@ -2,17 +2,32 @@
 
 Payloads are plain dataclasses defined by each protocol; the envelope
 carries routing metadata and the delivery timestamp for tracing.
+
+``msg_id`` is monotonically unique per process: every envelope ever
+created gets a fresh id, so a *re-transmission* of the same envelope (a
+live transport resending an unacknowledged frame after a reconnect) is
+recognizable at the receiver while two independent sends never collide.
+Sim transports create one envelope per send and therefore never produce
+duplicates — the dedup path only fires over real, lossy channels.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any
+
+_msg_ids = itertools.count(1)
+
+
+def next_msg_id() -> int:
+    """The next process-wide unique message id."""
+    return next(_msg_ids)
 
 
 @dataclass
 class Message:
-    """An envelope delivered by :class:`repro.net.network.Network`."""
+    """An envelope delivered by a :class:`repro.net.transport.Transport`."""
 
     src: str
     dst: str
@@ -20,6 +35,7 @@ class Message:
     sent_at: float = 0.0
     delivered_at: float = 0.0
     metadata: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=next_msg_id)
 
     @property
     def kind(self) -> str:

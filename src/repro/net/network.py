@@ -4,18 +4,27 @@ Delivery semantics match the paper's asynchronous model (§3.1): messages
 may be delayed (base latency + lognormal jitter), dropped (configurable
 loss probability), and reordered (a consequence of jitter).  Crashed
 endpoints receive nothing; partitions block cross-group traffic.
+
+This class is the **sim implementation** of the
+:class:`repro.net.transport.Transport` protocol; the live substrates in
+:mod:`repro.runtime` implement the same surface over asyncio queues and
+localhost sockets.  Conformance is structural — nothing here changed
+when the abstraction was extracted, so sim runs stay bit-for-bit
+deterministic.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.net.message import Message
 from repro.net.partition import PartitionController
 from repro.net.regions import Region, one_way_latency
-from repro.sim.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import Clock
 
 
 class Endpoint(Protocol):
@@ -46,7 +55,7 @@ class NetworkConfig:
 class Network:
     """Routes messages between named endpoints with geo latencies."""
 
-    def __init__(self, kernel: Kernel, config: NetworkConfig | None = None) -> None:
+    def __init__(self, kernel: Clock, config: NetworkConfig | None = None) -> None:
         self.kernel = kernel
         self.config = config or NetworkConfig()
         self.partitions = PartitionController()

@@ -1,0 +1,109 @@
+"""The Transport/Clock abstraction every component runs against.
+
+Historically each actor took a concrete ``repro.sim.kernel.Kernel`` and
+``repro.net.network.Network``.  These protocols formalize exactly what
+the call sites in ``core/site.py``, ``core/avantan/*``,
+``core/app_manager.py``, and ``baselines/*`` actually use, so the same
+*unchanged* protocol code can run on interchangeable substrates:
+
+- **sim** — :class:`repro.sim.kernel.Kernel` (clock) +
+  :class:`repro.net.network.Network` (transport): the deterministic
+  discrete-event substrate every benchmark runs on.
+- **live** — :class:`repro.runtime.clock.LiveClock` +
+  :class:`repro.runtime.asyncio_transport.AsyncioTransport` (in-process
+  coroutines and queues) or
+  :class:`repro.runtime.tcp_transport.TcpTransport` (localhost sockets,
+  length-prefixed frames via :mod:`repro.net.codec`).
+
+Both protocols are structural (:class:`typing.Protocol`): the sim
+classes implement them without importing this module, so the
+discrete-event path stays bit-for-bit identical to the pre-abstraction
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.net.message import Message
+from repro.net.partition import PartitionController
+from repro.net.regions import Region
+
+
+@runtime_checkable
+class ScheduledEvent(Protocol):
+    """A cancellable handle returned by :meth:`Clock.schedule`."""
+
+    cancelled: bool
+
+    def cancel(self) -> None: ...  # pragma: no cover
+
+
+class RngProvider(Protocol):
+    """Named deterministic random streams (``repro.sim.rng.RngRegistry``)."""
+
+    def stream(self, name: str): ...  # pragma: no cover
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time + deferred execution, as actors consume it.
+
+    ``now`` is seconds on the substrate's clock: simulated seconds under
+    the event kernel, wall-clock seconds since start under the live
+    runtime.  Actors never read host time directly, which is what lets
+    one code base run on both.
+    """
+
+    now: float
+    rng: RngProvider
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent: ...  # pragma: no cover
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent: ...  # pragma: no cover
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """Anything attachable to a transport."""
+
+    name: str
+    crashed: bool
+
+    def on_message(self, message: Message) -> None: ...  # pragma: no cover
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Message delivery between named endpoints.
+
+    Delivery is best-effort and asynchronous on every implementation:
+    messages may be delayed, dropped, and reordered; crashed endpoints
+    receive nothing; ``partitions`` blocks cross-group traffic.  The sim
+    :class:`~repro.net.network.Network` models these effects; the live
+    transports inherit them from real queues and sockets (plus an
+    injectable delay model reusing :mod:`repro.net.regions`).
+    """
+
+    partitions: PartitionController
+    messages_sent: int
+    messages_dropped: int
+    messages_delivered: int
+
+    def attach(self, endpoint: Endpoint, region: Region) -> None: ...  # pragma: no cover
+
+    def detach(self, name: str) -> None: ...  # pragma: no cover
+
+    def send(self, src: str, dst: str, payload: Any) -> None: ...  # pragma: no cover
+
+    def broadcast(self, src: str, dsts: list[str], payload: Any) -> None: ...  # pragma: no cover
+
+    def region_of(self, name: str) -> Region: ...  # pragma: no cover
+
+    def endpoints(self) -> list[str]: ...  # pragma: no cover
+
+    def latency(self, a: str, b: str) -> float: ...  # pragma: no cover

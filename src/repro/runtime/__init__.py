@@ -1,0 +1,41 @@
+"""The live execution substrate: sim -> production bridge.
+
+Everything in this reproduction is written against the
+:class:`repro.net.transport.Transport` / :class:`repro.net.transport.Clock`
+abstraction.  This package provides the **live** implementations so the
+unchanged Samya/Avantan/baseline protocol code runs as real concurrent
+work on an asyncio event loop:
+
+- :class:`~repro.runtime.clock.LiveClock` — wall-clock `Clock` backed by
+  ``loop.call_later``.
+- :class:`~repro.runtime.asyncio_transport.AsyncioTransport` — one
+  delivery coroutine and queue per node, with an injectable geo delay
+  model reusing :mod:`repro.net.regions`.
+- :class:`~repro.runtime.tcp_transport.TcpTransport` — localhost TCP
+  sockets, length-prefixed frames serialized by :mod:`repro.net.codec`.
+- :class:`~repro.runtime.cluster.LiveCluster` / ``run_live`` — launcher
+  that builds a harness :class:`~repro.harness.experiment.Experiment`
+  on the live substrate and returns the same ``ExperimentResult``.
+- :mod:`repro.runtime.parity` — drives one seeded workload through both
+  substrates and checks token conservation and allocation equivalence.
+
+Paper-shape benchmarks stay on the sim substrate (see DESIGN.md §1: the
+GIL makes live Python throughput numbers misleading); the live runtime
+exists to run the system for real, not to time it.
+"""
+
+from repro.runtime.asyncio_transport import AsyncioTransport, GeoDelayModel, ZeroDelayModel
+from repro.runtime.clock import LiveClock
+from repro.runtime.cluster import LiveCluster, LiveReport, run_live
+from repro.runtime.tcp_transport import TcpTransport
+
+__all__ = [
+    "AsyncioTransport",
+    "GeoDelayModel",
+    "LiveClock",
+    "LiveCluster",
+    "LiveReport",
+    "TcpTransport",
+    "ZeroDelayModel",
+    "run_live",
+]

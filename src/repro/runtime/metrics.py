@@ -1,0 +1,65 @@
+"""Wall-clock metrics for live runs.
+
+The existing :class:`repro.metrics.hub.MetricsHub` needs no changes to
+work live — clients stamp requests with ``clock.now``, which the
+:class:`~repro.runtime.clock.LiveClock` reports as wall seconds since
+start, so latency percentiles and throughput buckets keep their
+meaning.  What sim never needed, and live runs do, is *substrate
+health*: how late the event loop fires callbacks (scheduling drift,
+i.e. GIL/loop pressure) and what the transport actually moved.  That is
+what this adapter samples.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime.clock import LiveClock
+
+
+class LiveRunStats:
+    """Samples loop drift and transport counters during a live run."""
+
+    def __init__(
+        self, clock: LiveClock, transport, interval: float = 0.25
+    ) -> None:
+        self.clock = clock
+        self.transport = transport
+        self.interval = interval
+        self.samples = 0
+        self.max_drift = 0.0
+        self.total_drift = 0.0
+        self._wall_start = time.monotonic()
+        self._expected: float | None = None
+
+    def install(self) -> None:
+        """Start the periodic drift probe."""
+        self._expected = self.clock.now + self.interval
+        self.clock.schedule(self.interval, self._probe)
+
+    def _probe(self) -> None:
+        assert self._expected is not None
+        drift = max(0.0, self.clock.now - self._expected)
+        self.samples += 1
+        self.max_drift = max(self.max_drift, drift)
+        self.total_drift += drift
+        self._expected = self.clock.now + self.interval
+        self.clock.schedule(self.interval, self._probe)
+
+    def as_dict(self) -> dict[str, float | int]:
+        wall = time.monotonic() - self._wall_start
+        avg_drift = self.total_drift / self.samples if self.samples else 0.0
+        return {
+            "wall_seconds": round(wall, 3),
+            "callbacks_fired": self.clock.callbacks_fired,
+            "drift_avg_ms": round(avg_drift * 1000.0, 3),
+            "drift_max_ms": round(self.max_drift * 1000.0, 3),
+            "messages_sent": self.transport.messages_sent,
+            "messages_delivered": self.transport.messages_delivered,
+            "messages_dropped": self.transport.messages_dropped,
+        }
+
+
+def live_stats_rows(stats: dict[str, float | int]) -> list[list[object]]:
+    """Table rows for the CLI, mirroring the harness report style."""
+    return [[key, value] for key, value in stats.items()]

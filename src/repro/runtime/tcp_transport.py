@@ -1,0 +1,252 @@
+"""Live transport over real localhost TCP sockets.
+
+Every attached endpoint gets its own ``asyncio`` TCP server on
+127.0.0.1 (ephemeral port).  A send serializes the full
+:class:`~repro.net.message.Message` envelope with
+:mod:`repro.net.codec` into a length-prefixed frame and ships it over a
+per-destination connection — so protocol dataclasses genuinely
+round-trip bytes, the property the sim (object references) and the
+in-process asyncio transport (queues) never exercise.
+
+Delivery is at-least-once: a writer that loses its connection reopens it
+and resends the frame it could not confirm, which can duplicate the
+envelope.  Receivers deduplicate by ``Message.msg_id`` (see
+``SamyaSite.on_message``), keeping effects exactly-once over a lossy
+real channel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable
+
+from repro.net import codec
+from repro.net.message import Message
+from repro.net.partition import PartitionController
+from repro.net.regions import Region
+from repro.runtime.asyncio_transport import DelayModel, ZeroDelayModel
+from repro.runtime.clock import LiveClock
+
+#: How long a writer waits for the destination's server address before
+#: giving the frame up as undeliverable (startup races only).
+_ADDRESS_WAIT = 5.0
+_RECONNECT_BACKOFF = 0.05
+_MAX_SEND_ATTEMPTS = 5
+
+
+class TcpTransport:
+    """Live :class:`repro.net.transport.Transport` over localhost sockets."""
+
+    def __init__(
+        self,
+        clock: LiveClock,
+        host: str = "127.0.0.1",
+        delay_model: DelayModel | None = None,
+        loss_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.host = host
+        #: Artificial extra delay before a frame is handed to the socket;
+        #: defaults to none — real sockets provide real latency.
+        self.delay_model = delay_model or ZeroDelayModel()
+        self.loss_probability = loss_probability
+        self.partitions = PartitionController()
+        self._rng = random.Random(f"tcp-transport:{seed}")
+        self._endpoints: dict[str, Any] = {}
+        self._regions: dict[str, Region] = {}
+        self._servers: dict[str, asyncio.AbstractServer] = {}
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._out_queues: dict[str, asyncio.Queue] = {}
+        self._writers: dict[str, asyncio.Task] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.messages_delivered = 0
+        #: Frames rewritten after a reconnect (possible duplicates).
+        self.frames_resent = 0
+        self.trace: Callable[[Message], None] | None = None
+        self.errors: list[BaseException] = []
+
+    # -- registration -----------------------------------------------------
+
+    def attach(self, endpoint, region: Region) -> None:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already attached")
+        self._endpoints[endpoint.name] = endpoint
+        self._regions[endpoint.name] = region
+
+    def detach(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+        self._regions.pop(name, None)
+        server = self._servers.pop(name, None)
+        if server is not None:
+            server.close()
+        self._addresses.pop(name, None)
+
+    def region_of(self, name: str) -> Region:
+        return self._regions[name]
+
+    def endpoints(self) -> list[str]:
+        return list(self._endpoints)
+
+    async def start(self) -> None:
+        """Bind one TCP server per attached endpoint (ephemeral ports)."""
+        for name in self._endpoints:
+            if name in self._servers:
+                continue
+            server = await asyncio.start_server(self._on_connection, self.host, 0)
+            self._servers[name] = server
+            sockname = server.sockets[0].getsockname()
+            self._addresses[name] = (sockname[0], sockname[1])
+
+    def address_of(self, name: str) -> tuple[str, int]:
+        """The (host, port) an endpoint's server listens on."""
+        return self._addresses[name]
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Frame and ship one envelope; best-effort, at-least-once."""
+        self.messages_sent += 1
+        message = Message(src=src, dst=dst, payload=payload, sent_at=self.clock.now)
+        if self.trace is not None:
+            self.trace(message)
+        if dst not in self._endpoints:
+            self.messages_dropped += 1
+            return
+        if not self.partitions.can_communicate(src, dst):
+            self.messages_dropped += 1
+            return
+        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            return
+        frame = codec.encode_frame(message)
+        delay = self.delay_model.sample(self._regions[src], self._regions[dst], self._rng)
+        if delay <= 0:
+            self._enqueue_frame(dst, frame)
+        else:
+            self.clock.schedule(delay, self._enqueue_frame, dst, frame)
+
+    def broadcast(self, src: str, dsts: list[str], payload: Any) -> None:
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    def latency(self, a: str, b: str) -> float:
+        return self.delay_model.sample(self._regions[a], self._regions[b], random.Random(0))
+
+    def _enqueue_frame(self, dst: str, frame: bytes) -> None:
+        queue = self._out_queues.get(dst)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._out_queues[dst] = queue
+            loop = asyncio.get_running_loop()
+            self._writers[dst] = loop.create_task(
+                self._write_loop(dst, queue), name=f"tcp-writer:{dst}"
+            )
+        queue.put_nowait(frame)
+
+    async def _write_loop(self, dst: str, queue: asyncio.Queue) -> None:
+        """Drain ``queue`` into one connection to ``dst``, reconnecting
+        (and resending the unconfirmed frame) on failure."""
+        writer: asyncio.StreamWriter | None = None
+        try:
+            while True:
+                frame = await queue.get()
+                for attempt in range(_MAX_SEND_ATTEMPTS):
+                    try:
+                        if writer is None:
+                            writer = await self._connect(dst)
+                            if writer is None:
+                                self.messages_dropped += 1
+                                break
+                        writer.write(frame)
+                        await writer.drain()
+                        break
+                    except (ConnectionError, OSError):
+                        if writer is not None:
+                            writer.close()
+                            writer = None
+                        self.frames_resent += 1
+                        await asyncio.sleep(_RECONNECT_BACKOFF * (attempt + 1))
+                else:
+                    self.messages_dropped += 1
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _connect(self, dst: str) -> asyncio.StreamWriter | None:
+        deadline = self.clock.now + _ADDRESS_WAIT
+        while dst not in self._addresses:
+            if self.clock.now >= deadline or dst not in self._endpoints:
+                return None
+            await asyncio.sleep(0.01)
+        host, port = self._addresses[dst]
+        _reader, writer = await asyncio.open_connection(host, port)
+        return writer
+
+    # -- receiving ---------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        try:
+            while True:
+                header = await reader.readexactly(codec.FRAME_HEADER.size)
+                length = codec.decode_frame_length(header)
+                body = await reader.readexactly(length)
+                message = codec.decode(body)
+                self._dispatch(message)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            # Only aclose() cancels readers.  Returning (instead of
+            # re-raising) keeps asyncio.streams' done-callback from
+            # dumping the cancellation to the loop's exception handler.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - surfaced by launcher
+            self.errors.append(exc)
+        finally:
+            writer.close()
+
+    def _dispatch(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None or endpoint.crashed:
+            self.messages_dropped += 1
+            return
+        if not self.partitions.can_communicate(message.src, message.dst):
+            self.messages_dropped += 1
+            return
+        message.delivered_at = self.clock.now
+        self.messages_delivered += 1
+        try:
+            endpoint.on_message(message)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by launcher
+            self.errors.append(exc)
+
+    # -- teardown ----------------------------------------------------------
+
+    async def aclose(self) -> None:
+        for task in self._writers.values():
+            task.cancel()
+        if self._writers:
+            await asyncio.gather(*self._writers.values(), return_exceptions=True)
+        self._writers.clear()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()
+
+    def raise_errors(self) -> None:
+        if self.errors:
+            raise self.errors[0]

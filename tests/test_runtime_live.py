@@ -1,0 +1,124 @@
+"""Live substrate tests: sim/live parity, TCP smoke, dedup, clock.
+
+The parity tests are the bridge's acceptance criterion: one seeded
+workload through the discrete-event kernel and through the live asyncio
+substrates must end in an equivalent state — exact token conservation
+(Eq. 1) and identical commit/grant/allocation totals.  The TCP variant
+additionally proves protocol messages survive real byte serialization
+and that at least one full Avantan redistribution round completes over
+localhost sockets.
+
+These run wall-clock seconds by design (live duration is real time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import ForwardedRequest
+from repro.core.requests import ClientRequest, RequestKind
+from repro.metrics.hub import MetricsHub
+from repro.net.message import Message
+from repro.net.network import Network, NetworkConfig
+from repro.runtime.clock import LiveClock
+from repro.runtime.parity import (
+    _build,
+    check_parity,
+    parity_config,
+    parity_workload,
+    run_live_workload,
+    run_sim_workload,
+)
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture(scope="module")
+def sim_outcome():
+    return run_sim_workload()
+
+
+def test_sim_baseline_is_sane(sim_outcome):
+    assert sim_outcome.conserved
+    assert sim_outcome.rejected == 0
+    assert sim_outcome.failed == 0
+    assert sim_outcome.redistributions_completed >= 1
+
+
+def test_asyncio_parity(sim_outcome):
+    live = run_live_workload(transport="asyncio")
+    assert check_parity(sim_outcome, live) == []
+
+
+def test_tcp_parity_and_redistribution_smoke(sim_outcome):
+    live = run_live_workload(transport="tcp")
+    assert check_parity(sim_outcome, live) == []
+    # The workload over-demands one site's share, so serving it needs at
+    # least one *completed* Avantan round — over real sockets.
+    assert live.redistributions_completed >= 1
+    assert live.conserved
+
+
+def test_message_ids_are_unique_and_monotonic():
+    ids = [Message(src="a", dst="b", payload=None).msg_id for _ in range(64)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+def test_site_deduplicates_retransmitted_envelopes():
+    """A live transport may resend an unconfirmed frame after a
+    reconnect; the same envelope (same msg_id) must take effect once."""
+    kernel = Kernel(seed=5)
+    network = Network(kernel, NetworkConfig())
+    regions = sorted(parity_workload(), key=lambda region: region.value)
+    cluster, _checker = _build(kernel, network, 300, regions, parity_config())
+    site = cluster.sites[0]
+    request = ClientRequest(
+        kind=RequestKind.ACQUIRE,
+        entity_id="parity",
+        amount=3,
+        client="client-x",
+        region=site.region.value,
+        issued_at=0.0,
+    )
+    envelope = Message(
+        src="am-x", dst=site.name, payload=ForwardedRequest(request, reply_to="am-x")
+    )
+    site.on_message(envelope)
+    site.on_message(envelope)  # duplicate frame, identical msg_id
+    kernel.run(until=5.0)
+    assert site.counters["granted_acquires"] == 1
+    assert site.counters["acquired_tokens"] == 3
+
+
+def test_live_clock_surfaces_callback_errors():
+    """asyncio's call_later swallows exceptions; the LiveClock must not —
+    an invariant violation in a timer has to fail the run."""
+
+    async def scenario():
+        clock = LiveClock(seed=0)
+
+        def boom():
+            raise RuntimeError("invariant violated")
+
+        clock.schedule(0.0, boom)
+        await asyncio.sleep(0.05)
+        return clock
+
+    clock = asyncio.run(scenario())
+    assert clock.callbacks_fired == 1
+    with pytest.raises(RuntimeError, match="invariant violated"):
+        clock.raise_errors()
+
+
+def test_live_clock_cancel():
+    async def scenario():
+        clock = LiveClock(seed=0)
+        fired = []
+        event = clock.schedule(0.01, fired.append, 1)
+        event.cancel()
+        await asyncio.sleep(0.05)
+        return fired
+
+    assert asyncio.run(scenario()) == []
