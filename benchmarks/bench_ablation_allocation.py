@@ -7,7 +7,7 @@ equilibrium should reduce early redistributions.
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 POLICIES = ("even", "historic")
@@ -48,3 +48,16 @@ def test_ablation_initial_allocation(benchmark):
     # Both policies still need redistribution as phases move the demand.
     for policy in POLICIES:
         assert results[policy].redistributions["triggered"] > 0
+    write_bench_json(
+        "ablation_allocation",
+        {
+            "committed": committed,
+            "redistributions": {
+                policy: result.redistributions["triggered"]
+                for policy, result in results.items()
+            },
+        },
+        config={"system": "samya-majority", "duration": DURATION,
+                "policies": list(POLICIES)},
+        seed=3,
+    )

@@ -7,7 +7,7 @@ TokensWanted myopic (more rounds); too long makes predictions stale.
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 EPOCHS = (2.5, 5.0, 10.0, 20.0)
@@ -45,3 +45,16 @@ def test_ablation_epoch_length(benchmark):
     assert min(committed) > 0.9 * max(committed)
     # Every configuration still redistributes when demand concentrates.
     assert all(results[epoch].redistributions["triggered"] > 0 for epoch in EPOCHS)
+    write_bench_json(
+        "ablation_epoch",
+        {
+            "committed": {f"{epoch:.1f}s": results[epoch].committed for epoch in EPOCHS},
+            "p99_ms": {
+                f"{epoch:.1f}s": round(results[epoch].latency.row_ms()["p99"], 2)
+                for epoch in EPOCHS
+            },
+        },
+        config={"system": "samya-majority", "duration": DURATION,
+                "epochs": list(EPOCHS)},
+        seed=3,
+    )

@@ -6,7 +6,7 @@ and the random walk (the weakest learner from Table 2a).
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 PREDICTORS = ("oracle", "seasonal", "random-walk", "none")
@@ -46,3 +46,16 @@ def test_ablation_predictor_choice(benchmark):
     for name in ("oracle", "seasonal", "random-walk"):
         assert results[name].redistributions["proactive_triggers"] > 0
     assert results["none"].redistributions["proactive_triggers"] == 0
+    write_bench_json(
+        "ablation_predictor",
+        {
+            "committed": committed,
+            "proactive_triggers": {
+                name: result.redistributions.get("proactive_triggers", 0)
+                for name, result in results.items()
+            },
+        },
+        config={"system": "samya-majority", "duration": DURATION,
+                "predictors": list(PREDICTORS)},
+        seed=3,
+    )

@@ -7,7 +7,7 @@ equal split, which keeps shipping tokens to sites that do not need them.
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 STRATEGIES = ("greedy", "proportional", "equal-split")
@@ -45,3 +45,13 @@ def test_ablation_reallocation_strategy(benchmark):
     assert committed["proportional"] >= 0.98 * committed["equal-split"]
     # All conserve (run_experiment audits); all commit substantially.
     assert min(committed.values()) > 0.8 * max(committed.values())
+    write_bench_json(
+        "ablation_realloc",
+        {
+            "committed": committed,
+            "rejected": {name: result.rejected for name, result in results.items()},
+        },
+        config={"system": "samya-majority", "duration": DURATION,
+                "strategies": list(STRATEGIES)},
+        seed=3,
+    )

@@ -8,7 +8,7 @@ MultiPaxSys; at compressed rates the gap is the 16-18x headline.
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table, ratio
+from repro.harness.report import format_table, ratio, write_bench_json
 
 #: Compressed interval lengths (s); 5 is the paper's default, larger
 #: values approach the original trace rate (fewer requests per second).
@@ -70,3 +70,18 @@ def test_ext_varying_arrival_rate(benchmark):
     ]
     assert all(b < a for a, b in zip(advantages, advantages[1:]))
     assert advantages[-1] > 1.0
+    write_bench_json(
+        "ext_arrival_rate",
+        {
+            "committed": {
+                f"{system}@{interval:.0f}s": result.committed
+                for (system, interval), result in results.items()
+            },
+            "samya_advantage": {
+                f"{interval:.0f}s": round(advantage, 2)
+                for interval, advantage in zip(INTERVALS, advantages)
+            },
+        },
+        config={"intervals": list(INTERVALS), "trace_intervals": TRACE_INTERVALS},
+        seed=3,
+    )

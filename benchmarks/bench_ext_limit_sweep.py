@@ -9,7 +9,7 @@ with saturation.
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 #: Steady-state outstanding tokens for the default trace is ~3500; sweep
@@ -55,3 +55,13 @@ def test_ext_varying_maximum_limit(benchmark):
     rejected = [results[limit].rejected for limit in LIMITS]
     assert all(b <= a for a, b in zip(rejected, rejected[1:]))
     assert rejected[0] > 1000
+    write_bench_json(
+        "ext_limit_sweep",
+        {
+            "committed": {str(limit): results[limit].committed for limit in LIMITS},
+            "rejected": {str(limit): results[limit].rejected for limit in LIMITS},
+        },
+        config={"system": "samya-majority", "duration": DURATION,
+                "limits": list(LIMITS)},
+        seed=3,
+    )

@@ -9,7 +9,7 @@ the series and asserts those properties.
 
 import numpy as np
 
-from repro.harness.report import format_series, format_table
+from repro.harness.report import format_series, format_table, write_bench_json
 from repro.workload.trace import SyntheticAzureTrace
 
 
@@ -49,3 +49,9 @@ def test_fig3a_demand_trace(benchmark):
     # at peak (§5.2's setup requirement for redistribution to matter).
     window = np.convolve(trace.creations, np.ones(7), mode="valid")  # ~lifetime
     assert window.max() > 1000
+    write_bench_json(
+        "fig3a_trace",
+        {key: round(float(value), 3) for key, value in stats.items()},
+        config=trace.config,
+        seed=trace.config.seed,
+    )

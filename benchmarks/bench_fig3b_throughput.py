@@ -9,7 +9,7 @@ more often (208 vs 792 rounds in the paper's hour).
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_series, format_table, ratio
+from repro.harness.report import format_series, format_table, ratio, write_bench_json
 
 DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
@@ -79,4 +79,19 @@ def test_fig3b_throughput(benchmark):
 
     assert total_rounds(results["Samya Av.[*]"]) > total_rounds(
         results["Samya Av.[(n+1)/2]"]
+    )
+    write_bench_json(
+        "fig3b_throughput",
+        {
+            "committed": {name: result.committed for name, result in results.items()},
+            "throughput_avg": {
+                name: round(result.throughput_avg, 2)
+                for name, result in results.items()
+            },
+            "samya_advantage_over_multipaxsys": round(
+                ratio(tput["Samya Av.[(n+1)/2]"], tput["MultiPaxSys"]), 2
+            ),
+        },
+        config=BASE,
+        seed=BASE.seed,
     )

@@ -10,7 +10,7 @@ network and is not fault-tolerant.)
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 from repro.harness.scenarios import progressive_region_crashes
 from repro.net.regions import PAPER_REGIONS
 
@@ -81,3 +81,15 @@ def test_fig3c_crash_failures(benchmark):
     # rounds even in the final windows, which the majority variant cannot.
     star_completed = results["Samya Av.[*]"].redistributions["completed"]
     assert star_completed > 0
+    write_bench_json(
+        "fig3c_crashes",
+        {
+            "window_tps": {
+                name: [round(value, 2) for value in windows]
+                for name, windows in tps.items()
+            },
+            "committed": {name: result.committed for name, result in results.items()},
+        },
+        config=BASE,
+        seed=BASE.seed,
+    )

@@ -10,7 +10,7 @@ where no majority exists.
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 from repro.harness.scenarios import partition_3_2
 from repro.net.regions import PAPER_REGIONS
 
@@ -68,3 +68,17 @@ def test_fig3d_network_partition(benchmark):
     # MultiPaxSys still commits via the majority side (its leader is in
     # the 3-region group or a new one is elected there).
     assert tps["MultiPaxSys"][1] > 0
+    write_bench_json(
+        "fig3d_partition",
+        {
+            "tps_before_partition": {
+                name: round(before, 2) for name, (before, _) in tps.items()
+            },
+            "tps_during_partition": {
+                name: round(after, 2) for name, (_, after) in tps.items()
+            },
+            "committed": {name: result.committed for name, result in results.items()},
+        },
+        config=BASE,
+        seed=BASE.seed,
+    )

@@ -13,7 +13,7 @@ EXPERIMENTS.md — but the ordering and the rejection mechanics hold).
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table, ratio
+from repro.harness.report import format_table, ratio, write_bench_json
 
 DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
@@ -65,3 +65,15 @@ def test_fig3e_constraint_and_redistribution_ablation(benchmark):
     )
     # And the unconstrained variant by definition rejects nothing.
     assert results["No Constraints (optimal)"].rejected == 0
+    write_bench_json(
+        "fig3e_ablation",
+        {
+            "committed": committed,
+            "rejected": {name: result.rejected for name, result in results.items()},
+            "samya_fraction_of_optimal": round(
+                ratio(committed["Samya Av.[(n+1)/2]"], optimal), 4
+            ),
+        },
+        config=BASE,
+        seed=BASE.seed,
+    )

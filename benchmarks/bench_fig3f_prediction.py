@@ -12,7 +12,7 @@ gap, which is why our headline gap is smaller than the paper's.
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table, ratio
+from repro.harness.report import format_table, ratio, write_bench_json
 
 DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
@@ -85,4 +85,19 @@ def test_fig3f_proactive_vs_reactive(benchmark):
     assert (
         committed["Av.[(n+1)/2] no prediction (improved reactive)"]
         > committed["Av.[(n+1)/2] no prediction (paper-literal)"] * 0.98
+    )
+    write_bench_json(
+        "fig3f_prediction",
+        {
+            "committed": committed,
+            "prediction_gain": round(
+                ratio(
+                    committed["Av.[(n+1)/2] + prediction"],
+                    committed["Av.[(n+1)/2] no prediction (paper-literal)"],
+                ),
+                3,
+            ),
+        },
+        config=BASE,
+        seed=BASE.seed,
     )

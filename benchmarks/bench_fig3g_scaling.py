@@ -9,7 +9,7 @@ Paper shape: roughly linear throughput growth with flat latency.
 """
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 SCALES = (1, 2, 3, 4)  # sites per region -> 5, 10, 15, 20 sites
@@ -59,3 +59,18 @@ def test_fig3g_scalability(benchmark):
             results[(system, 5 * scale)].latency.row_ms()["p90"] for scale in SCALES
         ]
         assert max(p90s) < 25.0, (system, p90s)
+    write_bench_json(
+        "fig3g_scaling",
+        {
+            "throughput_avg": {
+                f"{system}@{sites}": round(result.throughput_avg, 2)
+                for (system, sites), result in results.items()
+            },
+            "p90_ms": {
+                f"{system}@{sites}": round(result.latency.row_ms()["p90"], 2)
+                for (system, sites), result in results.items()
+            },
+        },
+        config={"duration": DURATION, "scales": list(SCALES)},
+        seed=3,
+    )

@@ -10,7 +10,7 @@ application whose write load is 35% or more should choose Samya.
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 300.0
 RATIOS = (0.0, 0.25, 0.5, 0.65, 0.8, 0.95)
@@ -67,3 +67,15 @@ def test_fig3h_read_ratio_crossover(benchmark):
         if tput("multipaxsys", ratio) > tput("samya-majority", ratio)
     )
     assert crossover >= 0.5
+    write_bench_json(
+        "fig3h_readwrite",
+        {
+            "throughput_avg": {
+                f"{system}@{ratio:.2f}": round(result.throughput_avg, 2)
+                for (system, ratio), result in results.items()
+            },
+            "crossover_read_ratio": crossover,
+        },
+        config=BASE,
+        seed=BASE.seed,
+    )

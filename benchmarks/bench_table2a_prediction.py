@@ -5,7 +5,7 @@ Shape to reproduce: MAE(LSTM) < MAE(ARIMA) < MAE(RandomWalk), on a
 demand series at the paper's scale (mean ~600 tokens/interval, §5.9).
 """
 
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 from repro.prediction import (
     ArimaPredictor,
     LstmPredictor,
@@ -58,3 +58,12 @@ def test_table2a_prediction_mae(benchmark):
     )
     # The paper's ordering is the reproduced shape.
     assert reports["LSTM"].mae < reports["ARIMA"].mae < reports["Random Walk"].mae
+    write_bench_json(
+        "table2a_prediction",
+        {
+            "mae": {name: round(report.mae, 2) for name, report in reports.items()},
+            "rmse": {name: round(report.rmse, 2) for name, report in reports.items()},
+        },
+        config=TRACE,
+        seed=TRACE.seed,
+    )

@@ -15,7 +15,7 @@ replicated-log systems pay a WAN consensus round on every transaction.
 from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
-from repro.harness.report import format_table
+from repro.harness.report import format_table, write_bench_json
 
 DURATION = 600.0
 
@@ -69,3 +69,13 @@ def test_table2b_latency_percentiles(benchmark):
     assert p99["Demarcation/Escrow"] > p99["Samya Av.[(n+1)/2]"]
     # The log-replicated systems also dominate everyone's tail.
     assert p99["MultiPaxSys"] > p99["Samya Av.[(n+1)/2]"]
+    write_bench_json(
+        "table2b_latency",
+        {
+            "p90_ms": {name: round(value, 2) for name, value in p90.items()},
+            "p99_ms": {name: round(value, 2) for name, value in p99.items()},
+            "committed": {name: result.committed for name, result in results.items()},
+        },
+        config=BASE,
+        seed=BASE.seed,
+    )

@@ -202,6 +202,20 @@ class PaxosReplica(Actor):
             else:
                 granted = self.state_machine.apply(entry.command)
                 self.commits += 1
+            obs = self.obs
+            if obs is not None:
+                extra = (
+                    {"trace_id": f"req-{entry.command.request_id}"}
+                    if entry.command is not None
+                    else {}
+                )
+                obs.emit(
+                    "consensus.commit",
+                    node=self.name,
+                    index=entry.index,
+                    granted=granted,
+                    **extra,
+                )
             fwd = (respond_to or {}).get(self.applied_index)
             if fwd is not None:
                 status = RequestStatus.GRANTED if granted else RequestStatus.REJECTED

@@ -262,6 +262,20 @@ class RaftNode(Actor):
                 self.commits += 1
             else:
                 granted = True  # leader no-op
+            obs = self.obs
+            if obs is not None:
+                extra = (
+                    {"trace_id": f"req-{entry.command.request_id}"}
+                    if entry.command is not None
+                    else {}
+                )
+                obs.emit(
+                    "consensus.commit",
+                    node=self.name,
+                    index=entry.index,
+                    granted=granted,
+                    **extra,
+                )
             fwd = self._awaiting.pop(self.applied_index, None)
             if fwd is not None:
                 status = RequestStatus.GRANTED if granted else RequestStatus.REJECTED

@@ -8,8 +8,13 @@ Examples::
     python -m repro compare --systems samya-majority,multipaxsys
     python -m repro predict --models random-walk,arima,lstm
     python -m repro trace --days 7
+    python -m repro run --trace t.jsonl --duration 60
+    python -m repro trace t.jsonl --validate
 
 Every command prints the same tables the benchmark harness does.
+``trace`` is dual-purpose: with no file it inspects the synthetic
+demand trace; given a JSONL telemetry trace (written by ``run --trace``
+or ``live --trace``) it prints per-phase latency and message tables.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         reallocator=args.reallocator,
         read_ratio=args.read_ratio,
         loss_probability=args.loss,
+        trace_path=getattr(args, "trace", None),
     )
 
 
@@ -171,7 +177,30 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarize_trace_file(path: str, validate: bool) -> int:
+    from repro.obs import SCHEMA, format_trace_summary, read_trace, validate_events
+
+    try:
+        events = read_trace(path)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if validate:
+        errors = validate_events(events)
+        if errors:
+            for error in errors[:20]:
+                print(error, file=sys.stderr)
+            print(f"{len(errors)} schema error(s) in {path}", file=sys.stderr)
+            return 1
+        print(f"validated {len(events)} events against {SCHEMA}")
+        print()
+    print(format_trace_summary(events, source=path))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_file is not None:
+        return _summarize_trace_file(args.trace_file, validate=args.validate)
     trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
     stats = trace.demand_stats()
     print(
@@ -199,6 +228,9 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--read-ratio", type=float, default=0.0)
     parser.add_argument("--loss", type=float, default=0.0,
                         help="per-message loss probability")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL telemetry trace here "
+                             "(summarize it with: python -m repro trace PATH)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -247,7 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument("--seed", type=int, default=1)
     predict_parser.set_defaults(func=cmd_predict)
 
-    trace_parser = sub.add_parser("trace", help="inspect the synthetic demand trace")
+    trace_parser = sub.add_parser(
+        "trace",
+        help="summarize a JSONL telemetry trace, or (with no file) "
+             "inspect the synthetic demand trace",
+    )
+    trace_parser.add_argument(
+        "trace_file", nargs="?", default=None, metavar="FILE",
+        help="telemetry trace written by run/live --trace",
+    )
+    trace_parser.add_argument("--validate", action="store_true",
+                              help="check every event against the trace schema")
     trace_parser.add_argument("--days", type=float, default=7.0)
     trace_parser.add_argument("--seed", type=int, default=7)
     trace_parser.set_defaults(func=cmd_trace)

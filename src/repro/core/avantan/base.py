@@ -89,7 +89,21 @@ class RedistributionStats:
 
 
 class AvantanProtocol(abc.ABC):
-    """Base class: state, timers, and helpers common to both variants."""
+    """Base class: state, timers, and helpers common to both variants.
+
+    Telemetry rides on two seams so the variant code stays untouched:
+    the ``phase`` attribute is a property whose setter turns every
+    transition into a ``avantan.phase.*`` span, and the round
+    entry/finish helpers open and close one ``avantan.round`` span.
+    The bus is read through ``getattr(host, "obs", None)`` — stub hosts
+    in tests have no such attribute and pay nothing.
+    """
+
+    # Class defaults so the ``phase`` property setter (which fires inside
+    # ``__init__``) can read the previous value and the open-span slots.
+    _phase: Phase = Phase.NONE
+    _phase_span: int | None = None
+    _round_span: int | None = None
 
     def __init__(self, host: AvantanHost, peers: list[str]) -> None:
         self.host = host
@@ -110,6 +124,29 @@ class AvantanProtocol(abc.ABC):
         self.degraded = False
 
     # -- public surface ----------------------------------------------------
+
+    @property
+    def phase(self) -> Phase:
+        return self._phase
+
+    @phase.setter
+    def phase(self, value: Phase) -> None:
+        if value is self._phase:
+            return
+        self._phase = value
+        obs = getattr(self.host, "obs", None)
+        if obs is None:
+            return
+        if self._phase_span is not None:
+            obs.span_end(self._phase_span)
+            self._phase_span = None
+        if value is not Phase.NONE:
+            self._phase_span = obs.span_begin(
+                f"avantan.phase.{value.value}",
+                node=self.host.name,
+                trace_id=self._round_trace_id(),
+                role=self.role.value,
+            )
 
     @property
     def active(self) -> bool:
@@ -135,6 +172,13 @@ class AvantanProtocol(abc.ABC):
     def on_crash(self) -> None:
         """The owning site crashed: stop timers; state survives in store."""
         self._timer.cancel()
+        self._end_round_span("crashed")
+        if self._phase_span is not None:
+            obs = getattr(self.host, "obs", None)
+            if obs is not None:
+                obs.span_end(self._phase_span, outcome="crashed")
+            self._phase_span = None
+        self._phase = Phase.NONE
 
     def on_recover(self, state: AvantanState) -> None:
         """Restore from stable storage after a crash."""
@@ -186,12 +230,14 @@ class AvantanProtocol(abc.ABC):
         """Terminate the round after a decision: apply, reset, resume."""
         self.stats.completed += 1
         self.rounds.end(RoundOutcome.DECIDED, self.host.now)
+        self._end_round_span("decided")
         self.host.apply_redistribution(value)
         self._finish_common()
 
     def _finish_aborted(self) -> None:
         self.stats.aborted += 1
         self.rounds.end(RoundOutcome.ABORTED, self.host.now)
+        self._end_round_span("aborted")
         self._finish_common()
 
     def _finish_common(self) -> None:
@@ -206,6 +252,30 @@ class AvantanProtocol(abc.ABC):
     def _track_round_entry(self, role: Role) -> None:
         """Record that this site just joined a redistribution round."""
         self.rounds.begin(self.host.name, role.value, self.host.now)
+        obs = getattr(self.host, "obs", None)
+        if obs is not None and self._round_span is None:
+            self._round_span = obs.span_begin(
+                "avantan.round",
+                node=self.host.name,
+                trace_id=self._round_trace_id(),
+                role=role.value,
+            )
+
+    def _round_trace_id(self) -> str:
+        """The round's causal id: the ballot the messages carry.
+
+        Matches :func:`repro.obs.bus.trace_id_of` for Avantan payloads,
+        so phase spans and the wire traffic of one round correlate.
+        """
+        ballot = self.state.ballot_num
+        return f"rnd-{ballot.num}.{ballot.site_id}"
+
+    def _end_round_span(self, outcome: str) -> None:
+        if self._round_span is not None:
+            obs = getattr(self.host, "obs", None)
+            if obs is not None:
+                obs.span_end(self._round_span, outcome=outcome)
+            self._round_span = None
 
     def _enter_degraded(self) -> None:
         """The round is blocked; let the site serve what it safely can."""

@@ -53,6 +53,8 @@ class WorkloadClient(Actor):
         #: Tokens currently held (granted acquires minus granted releases).
         self.outstanding = 0
         self._inflight: dict[int, ClientRequest] = {}
+        #: request_id -> open telemetry span id (only while tracing).
+        self._spans: dict[int, int] = {}
         #: Releases dropped because nothing was held (trace artifacts).
         self.skipped_releases = 0
         self.issued = 0
@@ -87,6 +89,14 @@ class WorkloadClient(Actor):
             self._expire_stale_inflight()
             if len(self._inflight) >= self.max_outstanding:
                 self.shed += 1
+                obs = self.obs
+                if obs is not None:
+                    obs.emit(
+                        "request.shed",
+                        node=self.name,
+                        kind=operation.kind.value,
+                        amount=operation.amount,
+                    )
                 return
         amount = operation.amount
         if operation.kind is RequestKind.RELEASE:
@@ -108,12 +118,26 @@ class WorkloadClient(Actor):
         )
         self._inflight[request.request_id] = request
         self.issued += 1
+        obs = self.obs
+        if obs is not None:
+            self._spans[request.request_id] = obs.span_begin(
+                "request",
+                node=self.name,
+                trace_id=f"req-{request.request_id}",
+                kind=request.kind.value,
+                amount=request.amount,
+            )
         self.app_manager.submit(request, self)
 
     def on_response(self, response: ClientResponse, now: float) -> None:
         request = self._inflight.pop(response.request_id, None)
         if request is None:
             return
+        span = self._spans.pop(response.request_id, None)
+        if span is not None:
+            obs = self.obs
+            if obs is not None:
+                obs.span_end(span, outcome=response.status.value)
         if request.kind is RequestKind.ACQUIRE:
             if response.status is RequestStatus.GRANTED:
                 self.outstanding += request.amount
@@ -133,6 +157,11 @@ class WorkloadClient(Actor):
         ]
         for request in expired:
             del self._inflight[request.request_id]
+            span = self._spans.pop(request.request_id, None)
+            if span is not None:
+                obs = self.obs
+                if obs is not None:
+                    obs.span_end(span, outcome="failed")
             if request.kind is RequestKind.RELEASE:
                 self.outstanding += request.amount  # reservation refund
             if self.metrics is not None:
@@ -149,3 +178,4 @@ class WorkloadClient(Actor):
     def crash(self) -> None:
         super().crash()
         self._inflight.clear()
+        self._spans.clear()

@@ -264,6 +264,17 @@ class SamyaSite(Actor):
         self._pending_ids.add(fwd.request.request_id)
 
     def _respond(self, fwd: ForwardedRequest, status: RequestStatus, value: int | None = None) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "site.serve",
+                node=self.name,
+                status=status.value,
+                kind=fwd.request.kind.value,
+                amount=fwd.request.amount,
+                tokens_left=self.state.tokens_left,
+                trace_id=f"req-{fwd.request.request_id}",
+            )
         response = ClientResponse(
             request_id=fwd.request.request_id,
             status=status,
@@ -288,6 +299,14 @@ class SamyaSite(Actor):
         demand = self.history.close_epoch()
         if self.predictor is not None:
             self.predictor.update(demand)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "epoch.close",
+                node=self.name,
+                demand=demand,
+                tokens_left=self.state.tokens_left,
+            )
         self._schedule_epoch()
 
     def predict_next_epoch(self) -> int:
@@ -346,6 +365,9 @@ class SamyaSite(Actor):
         self._last_trigger_at = self.now
         if self.protocol.trigger():
             self.counters[f"{reason}_triggers"] += 1
+            obs = self.obs
+            if obs is not None:
+                obs.emit("realloc.trigger", node=self.name, reason=reason)
 
     def _fire_deferred_trigger(self, reason: str) -> None:
         self._deferred_trigger = None
@@ -383,6 +405,7 @@ class SamyaSite(Actor):
             proto_state.remember_applied_value(value)
         mine = value.state_of(self.name)
         granted: dict[str, int] | None = None
+        tokens_before = self.state.tokens_left
         if mine is not None:
             granted = redistribute_tokens(list(value.states), self.reallocator)
             # Delta form: the grant replaces the pooled contribution but
@@ -401,6 +424,18 @@ class SamyaSite(Actor):
         self._persist_entity()
         if proto_state is not None:
             self.persist_protocol(proto_state)
+        obs = self.obs
+        if obs is not None:
+            ballot = value.value_id
+            obs.emit(
+                "realloc.apply",
+                node=self.name,
+                value_id=f"{ballot.num}.{ballot.site_id}",
+                tokens_before=tokens_before,
+                tokens_after=self.state.tokens_left,
+                participants=len(value.states),
+                trace_id=f"rnd-{ballot.num}.{ballot.site_id}",
+            )
         for listener in self.apply_listeners:
             listener(self, value, granted)
 
@@ -468,11 +503,17 @@ class SamyaSite(Actor):
     def _begin_read(self, fwd: ForwardedRequest) -> None:
         self.counters["reads"] += 1
         read_id = next(_read_ids)
+        obs = self.obs
         record = {
             "fwd": fwd,
             "replies": {self.name: self.state.tokens_left},
             "deadline": self.kernel.schedule(
                 self.config.read_timeout, self._guarded, self._finish_read, (read_id,)
+            ),
+            "span": (
+                obs.span_begin("read", node=self.name, trace_id=f"read-{read_id}")
+                if obs is not None
+                else None
             ),
         }
         self._reads[read_id] = record
@@ -498,6 +539,14 @@ class SamyaSite(Actor):
             return
         record["deadline"].cancel()
         total = sum(record["replies"].values())
+        obs = self.obs
+        if obs is not None and record["span"] is not None:
+            complete = len(record["replies"]) == len(self.peers) + 1
+            obs.span_end(
+                record["span"],
+                outcome="ok" if complete else "timeout",
+                replies=len(record["replies"]),
+            )
         self._respond(record["fwd"], RequestStatus.GRANTED, value=total)
 
     # -- durability -------------------------------------------------------------

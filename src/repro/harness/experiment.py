@@ -34,6 +34,8 @@ from repro.metrics.latency import LatencySummary
 from repro.net.faults import CrashController
 from repro.net.network import Network, NetworkConfig
 from repro.net.regions import MULTIPAXSYS_REGIONS, PAPER_REGIONS, Region
+from repro.obs.bus import EventBus, JsonlSink, Sink
+from repro.obs.schema import SCHEMA
 from repro.prediction.arima import ArimaPredictor
 from repro.prediction.lstm import LstmPredictor
 from repro.prediction.oracle import OraclePredictor
@@ -117,6 +119,10 @@ class ExperimentConfig:
     #: Spanner-style 3-US placement (used by the failure experiments,
     #: which crash/partition whole regions).
     multipaxsys_paper_regions: bool = False
+    #: Write a JSONL telemetry trace (repro.obs) here.  None disables
+    #: tracing entirely: no bus is built and every emit site stays a
+    #: single ``is None`` branch.
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -177,7 +183,13 @@ class Experiment:
     this builder unchanged for live asyncio and TCP runs.
     """
 
-    def __init__(self, config: ExperimentConfig, kernel=None, network=None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        kernel=None,
+        network=None,
+        trace_sink: Sink | None = None,
+    ) -> None:
         self.config = config
         self.kernel = kernel if kernel is not None else Kernel(seed=config.seed)
         self.network = (
@@ -187,6 +199,19 @@ class Experiment:
                 self.kernel, NetworkConfig(loss_probability=config.loss_probability)
             )
         )
+        # Telemetry must be installed on the substrate *before* any actor
+        # is built — actors read their bus through kernel.obs at emit time,
+        # but the network stamps trace ids from its own reference.
+        self.obs: EventBus | None = None
+        self._owned_sink: Sink | None = None
+        sink = trace_sink
+        if sink is None and config.trace_path is not None:
+            sink = JsonlSink(config.trace_path)
+            self._owned_sink = sink
+        if sink is not None:
+            self.obs = EventBus(self.kernel, sink)
+            self.kernel.obs = self.obs
+            self.network.obs = self.obs
         self.trace = SyntheticAzureTrace(config.trace)
         self.entity = Entity(config.entity_id, config.maximum)
         self.metrics = MetricsHub(config.bucket_seconds)
@@ -401,6 +426,19 @@ class Experiment:
         sim kernel.
         """
         config = self.config
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "run.meta",
+                schema=SCHEMA,
+                substrate=config.mode,
+                system=config.system,
+                seed=config.seed,
+                duration=config.duration,
+                maximum=config.maximum,
+                predictor=config.predictor,
+                reallocator=config.reallocator,
+            )
         if self.checker is not None and config.invariant_interval > 0:
             self.checker.install_periodic(
                 self.kernel, config.invariant_interval, config.duration
@@ -425,7 +463,7 @@ class Experiment:
             if hasattr(self.cluster, "round_summary")
             else {}
         )
-        return ExperimentResult(
+        result = ExperimentResult(
             system=config.system,
             duration=config.duration,
             committed=self.metrics.committed,
@@ -442,6 +480,20 @@ class Experiment:
             tokens_left_total=tokens_left,
             invariant_checks=self.checker.checks if self.checker else 0,
         )
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "run.end",
+                committed=result.committed,
+                rejected=result.rejected,
+                failed=result.failed,
+                committed_reads=result.committed_reads,
+                shed=result.shed,
+                open_spans=obs.open_spans,
+            )
+            if self._owned_sink is not None:
+                obs.close()
+        return result
 
     def run(self) -> ExperimentResult:
         self.start()

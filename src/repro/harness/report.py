@@ -1,12 +1,20 @@
 """Plain-text table/series formatting for the benchmark harness.
 
 Benchmarks print the same rows/series the paper reports so a reader can
-diff shapes side by side with the PDF.
+diff shapes side by side with the PDF.  ``write_bench_json`` adds the
+machine-readable counterpart: every benchmark drops a ``BENCH_<name>.json``
+artifact with its headline numbers, so CI (and humans) can diff runs
+without scraping stdout tables.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
 
 
 def format_table(
@@ -40,7 +48,11 @@ def format_series(
     if not points:
         return f"{title}\n(no data)"
     stride = max(1, len(points) // max_points)
-    sampled = points[::stride]
+    sampled = list(points[::stride])
+    # Striding drops the tail unless it lands on a stride boundary; the
+    # final point is the end of the run and must always be shown.
+    if sampled[-1] != points[-1]:
+        sampled.append(points[-1])
     peak = max(value for _, value in sampled) or 1.0
     lines = [title] if title else []
     lines.append(f"{x_label:>10}  {y_label}")
@@ -53,3 +65,36 @@ def format_series(
 def ratio(a: float, b: float) -> float:
     """a/b with a guard for empty baselines."""
     return a / b if b else float("inf")
+
+
+def write_bench_json(
+    name: str,
+    headline: dict[str, Any],
+    config: Any = None,
+    seed: int | None = None,
+    out_dir: str | os.PathLike | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json``: headline numbers + config + seed.
+
+    ``config`` may be an ``ExperimentConfig`` (serialized via
+    ``dataclasses.asdict``), a plain dict, or ``None``.  Non-JSON values
+    (Region enums, TraceConfig) fall back to ``str``.  The artifact
+    lands in ``out_dir``, the ``BENCH_OUT_DIR`` env var, or the current
+    directory, in that order — CI points BENCH_OUT_DIR at its artifact
+    upload path.
+    """
+    directory = Path(out_dir or os.environ.get("BENCH_OUT_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, Any] = {"bench": name, "headline": headline}
+    if config is not None:
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            config = dataclasses.asdict(config)
+        payload["config"] = config
+    if seed is not None:
+        payload["seed"] = seed
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path

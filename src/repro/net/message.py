@@ -36,6 +36,11 @@ class Message:
     delivered_at: float = 0.0
     metadata: dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=next_msg_id)
+    #: Causal correlation id (see :func:`repro.obs.bus.trace_id_of`).
+    #: Stamped by the sending transport only when telemetry is enabled,
+    #: and carried across the wire so both ends of a socket agree on the
+    #: flow a frame belongs to.
+    trace_id: str | None = None
 
     @property
     def kind(self) -> str:

@@ -16,15 +16,18 @@ deterministic.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.net.message import Message
 from repro.net.partition import PartitionController
 from repro.net.regions import Region, one_way_latency
+from repro.obs.bus import emit_message_event, trace_id_of
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.transport import Clock
+    from repro.obs.bus import EventBus
 
 
 class Endpoint(Protocol):
@@ -65,8 +68,13 @@ class Network:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        #: Per-payload-type counters (parity with the live transports).
+        self.sent_by_type: Counter[str] = Counter()
+        self.delivered_by_type: Counter[str] = Counter()
         #: Optional tap for tracing: called with every message at send time.
         self.trace: Callable[[Message], None] | None = None
+        #: Telemetry bus; installed by the harness when tracing is on.
+        self.obs: EventBus | None = None
 
     # -- registration -----------------------------------------------------
 
@@ -92,18 +100,23 @@ class Network:
         """Send ``payload`` from ``src`` to ``dst``; best-effort delivery."""
         self.messages_sent += 1
         message = Message(src=src, dst=dst, payload=payload, sent_at=self.kernel.now)
+        self.sent_by_type[message.kind] += 1
+        obs = self.obs
+        if obs is not None:
+            message.trace_id = trace_id_of(payload)
+            self._emit_msg(obs, "msg.send", message)
         if self.trace is not None:
             self.trace(message)
         if dst not in self._endpoints:
-            self.messages_dropped += 1
+            self._drop(message, "unknown-endpoint")
             return
         if not self.partitions.can_communicate(src, dst):
-            self.messages_dropped += 1
+            self._drop(message, "partitioned")
             return
         if self.config.loss_probability > 0 and (
             self._rng.random() < self.config.loss_probability
         ):
-            self.messages_dropped += 1
+            self._drop(message, "loss")
             return
         delay = self._sample_latency(src, dst)
         self.kernel.schedule(delay, self._deliver, message)
@@ -129,13 +142,31 @@ class Network:
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or endpoint.crashed:
-            self.messages_dropped += 1
+            self._drop(message, "endpoint-down")
             return
         # Partitions that arise while a message is in flight still cut it off:
         # the check at delivery time models links going dark mid-flight.
         if not self.partitions.can_communicate(message.src, message.dst):
-            self.messages_dropped += 1
+            self._drop(message, "partitioned")
             return
         message.delivered_at = self.kernel.now
         self.messages_delivered += 1
+        self.delivered_by_type[message.kind] += 1
+        obs = self.obs
+        if obs is not None:
+            self._emit_msg(
+                obs,
+                "msg.deliver",
+                message,
+                latency=message.delivered_at - message.sent_at,
+            )
         endpoint.on_message(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        obs = self.obs
+        if obs is not None:
+            self._emit_msg(obs, "msg.drop", message, reason=reason)
+
+    def _emit_msg(self, obs, etype: str, message: Message, **extra: Any) -> None:
+        emit_message_event(obs, etype, message, self._regions, **extra)

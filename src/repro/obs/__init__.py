@@ -1,0 +1,49 @@
+"""Unified telemetry for both substrates (sim and live).
+
+``repro.obs`` is the observation plane the harness, the CLI, and every
+future perf/robustness change measure themselves with:
+
+* :class:`~repro.obs.bus.EventBus` — the emit surface instrumented code
+  talks to.  It is **absent by default**: substrates expose an ``obs``
+  attribute that is ``None`` unless a run asked for tracing, and every
+  instrumentation point is a single ``if obs is not None`` branch, so a
+  disabled run allocates nothing and pays one pointer test per event.
+* Sinks — :class:`~repro.obs.bus.JsonlSink` (one JSON object per line,
+  schema below) and :class:`~repro.obs.bus.RingSink` (bounded in-memory
+  buffer for tests).
+* :mod:`repro.obs.schema` — the documented event taxonomy and a
+  dependency-free validator; every event either substrate emits
+  validates against it (``tests/test_obs.py`` enforces this).
+* :mod:`repro.obs.summary` — turns a trace into the per-phase latency
+  and per-message-type tables ``python -m repro trace FILE`` prints.
+
+Timestamps are **substrate clock seconds** — simulated seconds under the
+discrete-event kernel, wall seconds since loop start under the live
+clock — so sim and live traces share one schema and one summarizer.
+
+Determinism contract: the bus observes, never perturbs.  Emitting reads
+the clock and message fields but draws no randomness and schedules no
+events, so a fixed-seed sim run produces bit-identical results (and an
+identical event stream) with tracing on or off.
+"""
+
+from repro.obs.bus import EventBus, JsonlSink, RingSink, trace_id_of
+from repro.obs.schema import (
+    SCHEMA,
+    read_trace,
+    validate_event,
+    validate_events,
+)
+from repro.obs.summary import format_trace_summary
+
+__all__ = [
+    "EventBus",
+    "JsonlSink",
+    "RingSink",
+    "SCHEMA",
+    "format_trace_summary",
+    "read_trace",
+    "trace_id_of",
+    "validate_event",
+    "validate_events",
+]

@@ -1,0 +1,197 @@
+"""The trace schema: event taxonomy + a dependency-free validator.
+
+Every event is one JSON object with three common fields:
+
+==========  ======  =====================================================
+field       type    meaning
+==========  ======  =====================================================
+``ts``      number  substrate clock seconds (simulated or wall-since-start)
+``type``    str     event type, one of :data:`EVENT_TYPES`
+``node``    str     emitting actor ("" for substrate-level events)
+==========  ======  =====================================================
+
+plus the per-type required/optional fields tabulated in
+:data:`EVENT_TYPES`.  Extra fields beyond the tabulated ones are allowed
+— spans carry free-form attributes (role, variant, reason...) — but must
+be JSON scalars, so any consumer can load a trace line-by-line without
+custom decoding.
+
+The taxonomy, by layer:
+
+* ``run.*`` — one ``run.meta`` opens every trace (schema version, config
+  fingerprint), one ``run.end`` closes a completed one.
+* ``msg.*`` — the transport plane: every envelope send, delivery, and
+  drop, stamped with the payload type, region pair, and causal trace id.
+* ``span.*`` — protocol-phase intervals: client ``request`` spans,
+  ``avantan.round`` and ``avantan.phase.*`` spans, §5.8 ``read`` spans.
+* ``site.serve`` / ``realloc.*`` / ``epoch.close`` — the Samya request
+  handling and redistribution modules' decision points.
+* ``consensus.commit`` — log application in the Paxos/Raft baselines.
+* ``request.shed`` — client-side load shedding (window full).
+* ``substrate.health`` — live-run drift and transport counters
+  (:class:`repro.runtime.metrics.LiveRunStats` emits these into the same
+  trace instead of keeping a parallel dict).
+
+Bump :data:`SCHEMA` when a field changes meaning; adding a new event
+type or optional field is backwards compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Trace format identifier, recorded in every run.meta event.
+SCHEMA = "repro-trace/1"
+
+_NUM = (int, float)
+_STR = (str,)
+_INT = (int,)
+
+#: type -> {"required": {field: types}, "optional": {field: types}}
+EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
+    "run.meta": {
+        "required": {
+            "schema": _STR,
+            "substrate": _STR,
+            "system": _STR,
+            "seed": _INT,
+            "duration": _NUM,
+        },
+        "optional": {
+            "maximum": _INT,
+            "predictor": _STR,
+            "reallocator": _STR,
+            "transport": _STR,
+        },
+    },
+    "run.end": {
+        "required": {"committed": _INT, "rejected": _INT, "failed": _INT},
+        "optional": {"committed_reads": _INT, "shed": _INT, "open_spans": _INT},
+    },
+    "msg.send": {
+        "required": {"src": _STR, "dst": _STR, "msg_type": _STR, "msg_id": _INT},
+        "optional": {"trace_id": _STR, "src_region": _STR, "dst_region": _STR},
+    },
+    "msg.deliver": {
+        "required": {"src": _STR, "dst": _STR, "msg_type": _STR, "msg_id": _INT},
+        "optional": {
+            "trace_id": _STR,
+            "src_region": _STR,
+            "dst_region": _STR,
+            "latency": _NUM,
+        },
+    },
+    "msg.drop": {
+        "required": {
+            "src": _STR,
+            "dst": _STR,
+            "msg_type": _STR,
+            "msg_id": _INT,
+            "reason": _STR,
+        },
+        "optional": {"trace_id": _STR, "src_region": _STR, "dst_region": _STR},
+    },
+    "span.begin": {
+        "required": {"span": _STR, "span_id": _INT},
+        "optional": {"trace_id": _STR},
+    },
+    "span.end": {
+        "required": {"span": _STR, "span_id": _INT, "dur": _NUM, "outcome": _STR},
+        "optional": {"trace_id": _STR},
+    },
+    "site.serve": {
+        "required": {"status": _STR},
+        "optional": {"trace_id": _STR, "kind": _STR, "amount": _INT, "tokens_left": _INT},
+    },
+    "realloc.trigger": {
+        "required": {"reason": _STR},
+        "optional": {},
+    },
+    "realloc.apply": {
+        "required": {"value_id": _STR, "tokens_before": _INT, "tokens_after": _INT},
+        "optional": {"trace_id": _STR, "participants": _INT},
+    },
+    "epoch.close": {
+        "required": {"demand": _NUM},
+        "optional": {"tokens_left": _INT},
+    },
+    "consensus.commit": {
+        "required": {"index": _INT},
+        "optional": {"trace_id": _STR, "granted": (bool,)},
+    },
+    "request.shed": {
+        "required": {"kind": _STR},
+        "optional": {"amount": _INT},
+    },
+    "substrate.health": {
+        "required": {"drift_ms": _NUM},
+        "optional": {
+            "drift_max_ms": _NUM,
+            "callbacks_fired": _INT,
+            "messages_sent": _INT,
+            "messages_delivered": _INT,
+            "messages_dropped": _INT,
+        },
+    },
+}
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_event(event: Any) -> list[str]:
+    """Schema errors for one event (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event is {type(event).__name__}, not an object"]
+    errors: list[str] = []
+    etype = event.get("type")
+    if not isinstance(event.get("ts"), _NUM) or isinstance(event.get("ts"), bool):
+        errors.append("ts missing or not a number")
+    if not isinstance(etype, str):
+        return errors + ["type missing or not a string"]
+    if not isinstance(event.get("node"), str):
+        errors.append("node missing or not a string")
+    spec = EVENT_TYPES.get(etype)
+    if spec is None:
+        return errors + [f"unknown event type {etype!r}"]
+    for name, types in spec["required"].items():
+        value = event.get(name)
+        if value is None or not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
+            errors.append(f"{etype}: field {name!r} missing or not {types}")
+    known = {"ts", "type", "node", *spec["required"], *spec["optional"]}
+    for name, types in spec["optional"].items():
+        if name in event and (
+            not isinstance(event[name], types)
+            or (isinstance(event[name], bool) and bool not in types)
+        ):
+            errors.append(f"{etype}: field {name!r} not {types}")
+    for name, value in event.items():
+        if name not in known and not isinstance(value, _SCALARS):
+            errors.append(f"{etype}: extra field {name!r} is not a JSON scalar")
+    return errors
+
+
+def validate_events(events: Iterable[dict[str, Any]]) -> list[str]:
+    """Schema errors across a whole trace, prefixed with event index."""
+    errors: list[str] = []
+    for index, event in enumerate(events):
+        errors.extend(f"event {index}: {error}" for error in validate_event(event))
+    return errors
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace file into a list of event dicts."""
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from exc
+    return events

@@ -1,0 +1,152 @@
+"""Turn a trace into the tables ``python -m repro trace FILE`` prints.
+
+Aggregation mirrors the paper's analysis axes: time-per-protocol-phase
+(spans), message volume per type and per region pair (the WAN round-trip
+story behind Fig. 3b-3h and Table 2b), and request outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Iterable
+
+from repro.metrics.latency import percentile
+
+# NOTE: repro.harness.report is imported lazily inside
+# format_trace_summary — the harness package imports the core modules,
+# which import repro.obs.bus, and this package's __init__ imports this
+# module; a module-level import would close that cycle.
+
+
+def span_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
+    """Per-phase latency table: one row per span name, ms units."""
+    durations: dict[str, list[float]] = defaultdict(list)
+    for event in events:
+        if event.get("type") == "span.end":
+            durations[event["span"]].append(float(event["dur"]))
+    rows: list[list[object]] = []
+    for span in sorted(durations):
+        samples = durations[span]
+        mean = sum(samples) / len(samples)
+        rows.append(
+            [
+                span,
+                len(samples),
+                f"{mean * 1000.0:.2f}",
+                f"{percentile(samples, 50) * 1000.0:.2f}",
+                f"{percentile(samples, 95) * 1000.0:.2f}",
+                f"{max(samples) * 1000.0:.2f}",
+            ]
+        )
+    return rows
+
+
+def message_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
+    """Per-message-type counters: sent / delivered / dropped."""
+    sent: Counter[str] = Counter()
+    delivered: Counter[str] = Counter()
+    dropped: Counter[str] = Counter()
+    for event in events:
+        etype = event.get("type")
+        if etype == "msg.send":
+            sent[event["msg_type"]] += 1
+        elif etype == "msg.deliver":
+            delivered[event["msg_type"]] += 1
+        elif etype == "msg.drop":
+            dropped[event["msg_type"]] += 1
+    rows = []
+    for msg_type in sorted(set(sent) | set(delivered) | set(dropped)):
+        rows.append(
+            [msg_type, sent[msg_type], delivered[msg_type], dropped[msg_type]]
+        )
+    return rows
+
+
+def region_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
+    """Per region-pair message volume and mean delivery latency."""
+    counts: Counter[tuple[str, str]] = Counter()
+    latency_sums: dict[tuple[str, str], float] = defaultdict(float)
+    latency_counts: Counter[tuple[str, str]] = Counter()
+    for event in events:
+        if event.get("type") != "msg.deliver":
+            continue
+        pair = (event.get("src_region", "?"), event.get("dst_region", "?"))
+        counts[pair] += 1
+        if "latency" in event:
+            latency_sums[pair] += float(event["latency"])
+            latency_counts[pair] += 1
+    rows = []
+    for pair in sorted(counts):
+        mean_ms = (
+            latency_sums[pair] / latency_counts[pair] * 1000.0
+            if latency_counts[pair]
+            else 0.0
+        )
+        rows.append([f"{pair[0]} -> {pair[1]}", counts[pair], f"{mean_ms:.2f}"])
+    return rows
+
+
+def outcome_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
+    """Client request outcomes from completed ``request`` spans."""
+    outcomes: Counter[str] = Counter()
+    for event in events:
+        if event.get("type") == "span.end" and event.get("span") == "request":
+            outcomes[event["outcome"]] += 1
+    return [[outcome, outcomes[outcome]] for outcome in sorted(outcomes)]
+
+
+def run_meta(events: Iterable[dict[str, Any]]) -> dict[str, Any] | None:
+    for event in events:
+        if event.get("type") == "run.meta":
+            return event
+    return None
+
+
+def format_trace_summary(events: list[dict[str, Any]], source: str = "") -> str:
+    """The full human-readable summary for one trace."""
+    from repro.harness.report import format_table
+
+    sections: list[str] = []
+    meta = run_meta(events)
+    header = f"trace summary — {len(events)} events"
+    if source:
+        header += f" from {source}"
+    if meta is not None:
+        header += (
+            f"\n{meta.get('system', '?')} on {meta.get('substrate', '?')} substrate, "
+            f"seed {meta.get('seed', '?')}, {meta.get('duration', 0):.0f}s"
+        )
+    sections.append(header)
+    spans = span_rows(events)
+    if spans:
+        sections.append(
+            format_table(
+                ["phase", "count", "mean ms", "p50 ms", "p95 ms", "max ms"],
+                spans,
+                title="per-phase latency (completed spans)",
+            )
+        )
+    messages = message_rows(events)
+    if messages:
+        sections.append(
+            format_table(
+                ["msg type", "sent", "delivered", "dropped"],
+                messages,
+                title="messages by payload type",
+            )
+        )
+    regions = region_rows(events)
+    if regions:
+        sections.append(
+            format_table(
+                ["region pair", "delivered", "mean latency ms"],
+                regions,
+                title="deliveries by region pair",
+            )
+        )
+    outcomes = outcome_rows(events)
+    if outcomes:
+        sections.append(
+            format_table(["outcome", "count"], outcomes, title="request outcomes")
+        )
+    return "\n\n".join(sections)

@@ -17,11 +17,13 @@ from __future__ import annotations
 import asyncio
 import math
 import random
+from collections import Counter
 from typing import Any, Callable, Protocol
 
 from repro.net.message import Message
 from repro.net.partition import PartitionController
 from repro.net.regions import Region, one_way_latency
+from repro.obs.bus import EventBus, emit_message_event, trace_id_of
 from repro.runtime.clock import LiveClock
 
 
@@ -83,7 +85,12 @@ class AsyncioTransport:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        #: Per-payload-type counters (parity with the sim network).
+        self.sent_by_type: Counter[str] = Counter()
+        self.delivered_by_type: Counter[str] = Counter()
         self.trace: Callable[[Message], None] | None = None
+        #: Telemetry bus; installed by the launcher when tracing is on.
+        self.obs: EventBus | None = None
         #: Exceptions raised by ``on_message`` handlers, oldest first.
         self.errors: list[BaseException] = []
 
@@ -137,16 +144,21 @@ class AsyncioTransport:
         """Send ``payload`` from ``src`` to ``dst``; best-effort delivery."""
         self.messages_sent += 1
         message = Message(src=src, dst=dst, payload=payload, sent_at=self.clock.now)
+        self.sent_by_type[message.kind] += 1
+        obs = self.obs
+        if obs is not None:
+            message.trace_id = trace_id_of(payload)
+            emit_message_event(obs, "msg.send", message, self._regions)
         if self.trace is not None:
             self.trace(message)
         if dst not in self._endpoints:
-            self.messages_dropped += 1
+            self._drop(message, "unknown-endpoint")
             return
         if not self.partitions.can_communicate(src, dst):
-            self.messages_dropped += 1
+            self._drop(message, "partitioned")
             return
         if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
-            self.messages_dropped += 1
+            self._drop(message, "loss")
             return
         delay = self.delay_model.sample(self._regions[src], self._regions[dst], self._rng)
         if delay <= 0:
@@ -164,10 +176,16 @@ class AsyncioTransport:
 
     # -- delivery ----------------------------------------------------------
 
+    def _drop(self, message: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        obs = self.obs
+        if obs is not None:
+            emit_message_event(obs, "msg.drop", message, self._regions, reason=reason)
+
     def _enqueue(self, message: Message) -> None:
         queue = self._queues.get(message.dst)
         if queue is None:
-            self.messages_dropped += 1
+            self._drop(message, "unknown-endpoint")
             return
         queue.put_nowait(message)
 
@@ -176,13 +194,23 @@ class AsyncioTransport:
             message = await queue.get()
             endpoint = self._endpoints.get(message.dst)
             if endpoint is None or endpoint.crashed:
-                self.messages_dropped += 1
+                self._drop(message, "endpoint-down")
                 continue
             if not self.partitions.can_communicate(message.src, message.dst):
-                self.messages_dropped += 1
+                self._drop(message, "partitioned")
                 continue
             message.delivered_at = self.clock.now
             self.messages_delivered += 1
+            self.delivered_by_type[message.kind] += 1
+            obs = self.obs
+            if obs is not None:
+                emit_message_event(
+                    obs,
+                    "msg.deliver",
+                    message,
+                    self._regions,
+                    latency=message.delivered_at - message.sent_at,
+                )
             try:
                 endpoint.on_message(message)
             except BaseException as exc:  # noqa: BLE001 - surfaced by launcher

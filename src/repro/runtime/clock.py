@@ -44,6 +44,9 @@ class LiveClock:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._t0 = 0.0
         self.callbacks_fired = 0
+        #: Telemetry bus, same seam as :attr:`repro.sim.kernel.Kernel.obs`
+        #: — actors read their bus from the clock they already hold.
+        self.obs = None
         #: First exceptions raised by scheduled callbacks, oldest first.
         self.errors: list[BaseException] = []
 

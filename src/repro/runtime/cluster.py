@@ -53,9 +53,10 @@ class LiveCluster:
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; pick from {TRANSPORTS}")
-        # The builder below runs sim-agnostic; mode only routes the
-        # top-level run_experiment dispatch.
-        self.config = replace(config, mode="sim")
+        # The builder below is substrate-agnostic; mode only routes the
+        # top-level run_experiment dispatch, but it is also what the
+        # telemetry run.meta records, so pin it to what actually runs.
+        self.config = replace(config, mode="live")
         self.transport_kind = transport
         self.latency_scale = latency_scale
 

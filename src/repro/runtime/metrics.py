@@ -43,6 +43,19 @@ class LiveRunStats:
         self.samples += 1
         self.max_drift = max(self.max_drift, drift)
         self.total_drift += drift
+        obs = self.clock.obs
+        if obs is not None:
+            # Substrate health lands in the same trace as the protocol
+            # events, so one file tells the whole story of a live run.
+            obs.emit(
+                "substrate.health",
+                drift_ms=drift * 1000.0,
+                drift_max_ms=self.max_drift * 1000.0,
+                callbacks_fired=self.clock.callbacks_fired,
+                messages_sent=self.transport.messages_sent,
+                messages_delivered=self.transport.messages_delivered,
+                messages_dropped=self.transport.messages_dropped,
+            )
         self._expected = self.clock.now + self.interval
         self.clock.schedule(self.interval, self._probe)
 

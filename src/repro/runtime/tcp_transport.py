@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import asyncio
 import random
+from collections import Counter
 from typing import Any, Callable
 
 from repro.net import codec
 from repro.net.message import Message
 from repro.net.partition import PartitionController
 from repro.net.regions import Region
+from repro.obs.bus import EventBus, emit_message_event, trace_id_of
 from repro.runtime.asyncio_transport import DelayModel, ZeroDelayModel
 from repro.runtime.clock import LiveClock
 
@@ -64,9 +66,14 @@ class TcpTransport:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        #: Per-payload-type counters (parity with the sim network).
+        self.sent_by_type: Counter[str] = Counter()
+        self.delivered_by_type: Counter[str] = Counter()
         #: Frames rewritten after a reconnect (possible duplicates).
         self.frames_resent = 0
         self.trace: Callable[[Message], None] | None = None
+        #: Telemetry bus; installed by the launcher when tracing is on.
+        self.obs: EventBus | None = None
         self.errors: list[BaseException] = []
 
     # -- registration -----------------------------------------------------
@@ -111,16 +118,22 @@ class TcpTransport:
         """Frame and ship one envelope; best-effort, at-least-once."""
         self.messages_sent += 1
         message = Message(src=src, dst=dst, payload=payload, sent_at=self.clock.now)
+        self.sent_by_type[message.kind] += 1
+        obs = self.obs
+        if obs is not None:
+            # Stamped before framing so the trace id crosses the wire.
+            message.trace_id = trace_id_of(payload)
+            emit_message_event(obs, "msg.send", message, self._regions)
         if self.trace is not None:
             self.trace(message)
         if dst not in self._endpoints:
-            self.messages_dropped += 1
+            self._drop(message, "unknown-endpoint")
             return
         if not self.partitions.can_communicate(src, dst):
-            self.messages_dropped += 1
+            self._drop(message, "partitioned")
             return
         if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
-            self.messages_dropped += 1
+            self._drop(message, "loss")
             return
         frame = codec.encode_frame(message)
         delay = self.delay_model.sample(self._regions[src], self._regions[dst], self._rng)
@@ -214,16 +227,32 @@ class TcpTransport:
         finally:
             writer.close()
 
+    def _drop(self, message: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        obs = self.obs
+        if obs is not None:
+            emit_message_event(obs, "msg.drop", message, self._regions, reason=reason)
+
     def _dispatch(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or endpoint.crashed:
-            self.messages_dropped += 1
+            self._drop(message, "endpoint-down")
             return
         if not self.partitions.can_communicate(message.src, message.dst):
-            self.messages_dropped += 1
+            self._drop(message, "partitioned")
             return
         message.delivered_at = self.clock.now
         self.messages_delivered += 1
+        self.delivered_by_type[message.kind] += 1
+        obs = self.obs
+        if obs is not None:
+            emit_message_event(
+                obs,
+                "msg.deliver",
+                message,
+                self._regions,
+                latency=message.delivered_at - message.sent_at,
+            )
         try:
             endpoint.on_message(message)
         except BaseException as exc:  # noqa: BLE001 - surfaced by launcher

@@ -26,6 +26,12 @@ class Kernel:
         self.rng = RngRegistry(seed)
         self._queue = EventQueue()
         self._events_fired = 0
+        #: Telemetry bus (:class:`repro.obs.bus.EventBus`) or ``None``.
+        #: The kernel is the one object every actor holds, so this is the
+        #: substrate-wide seam instrumented code reads its bus from; the
+        #: harness installs it before any actor is built.  The kernel
+        #: itself never emits — event dispatch is far too hot.
+        self.obs = None
 
     @property
     def events_fired(self) -> int:

@@ -57,6 +57,16 @@ class Actor:
     def now(self) -> float:
         return self.kernel.now
 
+    @property
+    def obs(self):
+        """Telemetry bus (:class:`repro.obs.bus.EventBus`) or ``None``.
+
+        Read from the kernel/clock so one install point covers every
+        actor; ``getattr`` keeps bare test doubles (plain objects passed
+        as kernels) working unchanged.
+        """
+        return getattr(self.kernel, "obs", None)
+
     def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule local work; the event is dropped if the actor is crashed
         at fire time (a crashed server does no processing)."""

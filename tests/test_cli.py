@@ -61,3 +61,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "daily_autocorrelation" in out
+
+
+class TestTelemetryTrace:
+    def test_run_writes_trace_then_summarizes(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        code = main(["run", "--duration", "10", "--seed", "2",
+                     "--trace", str(path)])
+        assert code == 0
+        assert path.exists()
+        capsys.readouterr()
+        code = main(["trace", str(path), "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validated" in out
+        assert "per-phase latency" in out
+        assert "messages by payload type" in out
+
+    def test_trace_missing_file_exits_nonzero(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_trace_schema_errors_exit_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 0.0, "type": "nope", "node": ""}\n')
+        code = main(["trace", str(path), "--validate"])
+        assert code == 1
+        assert "schema error" in capsys.readouterr().err

@@ -9,7 +9,12 @@ from repro.harness.experiment import (
     run_experiment,
     variant_configs,
 )
-from repro.harness.report import format_series, format_table, ratio
+from repro.harness.report import (
+    format_series,
+    format_table,
+    ratio,
+    write_bench_json,
+)
 from repro.harness.scenarios import (
     RegionFault,
     partition_3_2,
@@ -175,3 +180,36 @@ class TestReport:
     def test_ratio_guard(self):
         assert ratio(1.0, 0.0) == float("inf")
         assert ratio(4.0, 2.0) == 2.0
+
+    def test_format_series_always_shows_last_point(self):
+        # 10 points at max_points=4 -> stride 2 samples indices 0..8;
+        # the final point (t=9) must still be appended.
+        points = [(float(t), 1.0) for t in range(9)] + [(9.0, 42.0)]
+        text = format_series(points, max_points=4)
+        assert "42.0" in text
+        assert text.splitlines()[-1].strip().startswith("9.0")
+
+    def test_format_series_no_duplicate_last_point(self):
+        points = [(0.0, 1.0), (1.0, 2.0)]
+        text = format_series(points, max_points=40)
+        assert text.count("2.0") == 1
+
+    def test_write_bench_json(self, tmp_path):
+        config = quick_config()
+        path = write_bench_json(
+            "demo", {"committed": 7}, config=config, seed=2, out_dir=tmp_path
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "demo"
+        assert payload["headline"] == {"committed": 7}
+        assert payload["seed"] == 2
+        assert payload["config"]["duration"] == 20.0
+
+    def test_write_bench_json_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_OUT_DIR", str(tmp_path / "artifacts"))
+        path = write_bench_json("envdemo", {"x": 1})
+        assert path.parent == tmp_path / "artifacts"
+        assert path.exists()

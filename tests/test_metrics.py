@@ -22,6 +22,9 @@ class TestPercentile:
     def test_single_sample(self):
         assert percentile([7.0], 99) == 7.0
 
+    def test_single_sample_q100(self):
+        assert percentile([7.0], 100) == 7.0
+
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             percentile([], 50)
@@ -85,6 +88,22 @@ class TestThroughputSeries:
             series.record(t + 0.5)
         points = series.downsample(5.0, 0.0, 10.0)
         assert points == [(0.0, 1.0), (5.0, 1.0)]
+
+    def test_downsample_ragged_end_window(self):
+        # 10 s of one-event-per-second data in 4 s windows: the final
+        # window covers only [8, 10) and must average over 2 s, not 4.
+        series = ThroughputSeries()
+        for t in range(10):
+            series.record(t + 0.5)
+        points = series.downsample(4.0, 0.0, 10.0)
+        assert points == [(0.0, 1.0), (4.0, 1.0), (8.0, 1.0)]
+
+    def test_downsample_covers_full_range(self):
+        series = ThroughputSeries()
+        series.record(9.9)
+        points = series.downsample(3.0, 0.0, 10.0)
+        assert points[-1][0] == 9.0
+        assert points[-1][1] == pytest.approx(1.0)  # 1 event / 1 s window
 
     def test_subsecond_buckets(self):
         series = ThroughputSeries(bucket_seconds=0.5)
