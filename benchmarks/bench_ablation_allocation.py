@@ -8,6 +8,7 @@ equilibrium should reduce early redistributions.
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 POLICIES = ("even", "historic")
@@ -61,3 +62,12 @@ def test_ablation_initial_allocation(benchmark):
                 "policies": list(POLICIES)},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "ablation_allocation",
+    default=Tolerance(rel=0.10),
+    overrides={"redistributions": Tolerance(rel=0.50, abs=10)},
+)

@@ -8,6 +8,7 @@ TokensWanted myopic (more rounds); too long makes predictions stale.
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 EPOCHS = (2.5, 5.0, 10.0, 20.0)
@@ -58,3 +59,12 @@ def test_ablation_epoch_length(benchmark):
                 "epochs": list(EPOCHS)},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "ablation_epoch",
+    default=Tolerance(rel=0.10),
+    overrides={"p99_ms": Tolerance(rel=0.25, abs=1.0)},
+)

@@ -7,6 +7,7 @@ and the random walk (the weakest learner from Table 2a).
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 PREDICTORS = ("oracle", "seasonal", "random-walk", "none")
@@ -59,3 +60,12 @@ def test_ablation_predictor_choice(benchmark):
                 "predictors": list(PREDICTORS)},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "ablation_predictor",
+    default=Tolerance(rel=0.10),
+    overrides={"proactive_triggers": Tolerance(rel=0.50, abs=5)},
+)

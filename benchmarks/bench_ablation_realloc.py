@@ -8,6 +8,7 @@ equal split, which keeps shipping tokens to sites that do not need them.
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 STRATEGIES = ("greedy", "proportional", "equal-split")
@@ -55,3 +56,12 @@ def test_ablation_reallocation_strategy(benchmark):
                 "strategies": list(STRATEGIES)},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "ablation_realloc",
+    default=Tolerance(rel=0.10),
+    overrides={"rejected": Tolerance(rel=0.50, abs=50)},
+)

@@ -9,6 +9,7 @@ MultiPaxSys; at compressed rates the gap is the 16-18x headline.
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, ratio, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 #: Compressed interval lengths (s); 5 is the paper's default, larger
 #: values approach the original trace rate (fewer requests per second).
@@ -85,3 +86,12 @@ def test_ext_varying_arrival_rate(benchmark):
         config={"intervals": list(INTERVALS), "trace_intervals": TRACE_INTERVALS},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "ext_arrival_rate",
+    default=Tolerance(rel=0.10),
+    overrides={"samya_advantage": Tolerance(rel=0.25)},
+)

@@ -10,6 +10,7 @@ with saturation.
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 #: Steady-state outstanding tokens for the default trace is ~3500; sweep
@@ -65,3 +66,12 @@ def test_ext_varying_maximum_limit(benchmark):
                 "limits": list(LIMITS)},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "ext_limit_sweep",
+    default=Tolerance(rel=0.10),
+    overrides={"rejected": Tolerance(rel=0.25, abs=50)},
+)

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.harness.report import format_series, format_table, write_bench_json
 from repro.workload.trace import SyntheticAzureTrace
+from repro.harness.regression import Tolerance, register_baseline
 
 
 def build_trace():
@@ -55,3 +56,12 @@ def test_fig3a_demand_trace(benchmark):
         config=trace.config,
         seed=trace.config.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3a_trace",
+    default=Tolerance(rel=0.05),
+    overrides={"daily_autocorrelation": Tolerance(abs=0.05)},
+)

@@ -10,12 +10,15 @@ from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_series, format_table, ratio, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
 
 SYSTEMS = {
-    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority"),
+    # metrics=True rides the registry along (passive; results identical)
+    # so the bench artifact carries a point-in-time /metrics snapshot.
+    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority", metrics=True),
     "Samya Av.[*]": replace(BASE, system="samya-star"),
     "Demarcation/Escrow": replace(BASE, system="demarcation"),
     "MultiPaxSys": replace(BASE, system="multipaxsys"),
@@ -94,4 +97,14 @@ def test_fig3b_throughput(benchmark):
         },
         config=BASE,
         seed=BASE.seed,
+        metrics=majority.metrics_snapshot,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3b_throughput",
+    default=Tolerance(rel=0.10),
+    overrides={"samya_advantage_over_multipaxsys": Tolerance(rel=0.25)},
+)

@@ -13,6 +13,7 @@ from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
 from repro.harness.scenarios import progressive_region_crashes
 from repro.net.regions import PAPER_REGIONS
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 600.0
 CRASH_EVERY = 100.0  # scaled from the paper's 10 minutes
@@ -93,3 +94,11 @@ def test_fig3c_crash_failures(benchmark):
         config=BASE,
         seed=BASE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3c_crashes",
+    default=Tolerance(rel=0.10),
+)

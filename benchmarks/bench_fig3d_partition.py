@@ -13,6 +13,7 @@ from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
 from repro.harness.scenarios import partition_3_2
 from repro.net.regions import PAPER_REGIONS
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 600.0
 PARTITION_AT = 120.0
@@ -82,3 +83,15 @@ def test_fig3d_network_partition(benchmark):
         config=BASE,
         seed=BASE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3d_partition",
+    default=Tolerance(rel=0.10),
+    overrides={
+        "tps_before_partition": Tolerance(rel=0.15),
+        "tps_during_partition": Tolerance(rel=0.15),
+    },
+)

@@ -14,6 +14,7 @@ from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, ratio, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
@@ -77,3 +78,15 @@ def test_fig3e_constraint_and_redistribution_ablation(benchmark):
         config=BASE,
         seed=BASE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3e_ablation",
+    default=Tolerance(rel=0.10),
+    overrides={
+        "rejected": Tolerance(rel=0.50, abs=100),
+        "samya_fraction_of_optimal": Tolerance(abs=0.05),
+    },
+)

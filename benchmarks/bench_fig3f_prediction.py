@@ -13,6 +13,7 @@ from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, ratio, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
@@ -101,3 +102,12 @@ def test_fig3f_proactive_vs_reactive(benchmark):
         config=BASE,
         seed=BASE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3f_prediction",
+    default=Tolerance(rel=0.10),
+    overrides={"prediction_gain": Tolerance(abs=0.05)},
+)

@@ -10,6 +10,7 @@ Paper shape: roughly linear throughput growth with flat latency.
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 SCALES = (1, 2, 3, 4)  # sites per region -> 5, 10, 15, 20 sites
@@ -74,3 +75,12 @@ def test_fig3g_scalability(benchmark):
         config={"duration": DURATION, "scales": list(SCALES)},
         seed=3,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3g_scaling",
+    default=Tolerance(rel=0.10),
+    overrides={"p90_ms": Tolerance(rel=0.25, abs=1.0)},
+)

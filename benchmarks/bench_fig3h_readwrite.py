@@ -11,6 +11,7 @@ from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 300.0
 RATIOS = (0.0, 0.25, 0.5, 0.65, 0.8, 0.95)
@@ -79,3 +80,12 @@ def test_fig3h_read_ratio_crossover(benchmark):
         config=BASE,
         seed=BASE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "fig3h_readwrite",
+    default=Tolerance(rel=0.10),
+    overrides={"crossover_read_ratio": Tolerance(abs=0.16)},
+)

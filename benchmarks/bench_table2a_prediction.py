@@ -14,6 +14,7 @@ from repro.prediction import (
     train_test_split,
 )
 from repro.workload.trace import SyntheticAzureTrace, TraceConfig
+from repro.harness.regression import Tolerance, register_baseline
 
 #: Paper-scale demand (mean ~600/interval) for comparable MAE units.
 TRACE = TraceConfig(days=30.0, base_demand=600.0, seed=7)
@@ -67,3 +68,11 @@ def test_table2a_prediction_mae(benchmark):
         config=TRACE,
         seed=TRACE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "table2a_prediction",
+    default=Tolerance(rel=0.10),
+)

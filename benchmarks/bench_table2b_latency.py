@@ -16,6 +16,7 @@ from dataclasses import replace
 
 from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
 
 DURATION = 600.0
 
@@ -79,3 +80,15 @@ def test_table2b_latency_percentiles(benchmark):
         config=BASE,
         seed=BASE.seed,
     )
+
+
+# Regression-gate contract: python -m repro bench compares this file's
+# BENCH artifact against benchmarks/baselines/ with these tolerances.
+register_baseline(
+    "table2b_latency",
+    default=Tolerance(rel=0.10),
+    overrides={
+        "p90_ms": Tolerance(rel=0.25, abs=1.0),
+        "p99_ms": Tolerance(rel=0.25, abs=1.0),
+    },
+)

@@ -46,6 +46,7 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         read_ratio=args.read_ratio,
         loss_probability=args.loss,
         trace_path=getattr(args, "trace", None),
+        audit=getattr(args, "audit", False),
     )
 
 
@@ -66,6 +67,23 @@ def _result_rows(result) -> list[list[object]]:
     ]
 
 
+def _report_audit(result, enabled: bool) -> int:
+    """Print the online-audit verdict; non-zero exit on violations."""
+    if not enabled:
+        return 0
+    print()
+    if result.audit_violations:
+        for line in result.audit_violations:
+            print(f"AUDIT {line}", file=sys.stderr)
+        print(
+            f"online audit: {len(result.audit_violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("online audit: clean")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(_base_config(args))
     kind = "wall-clock (live)" if getattr(args, "mode", "sim") == "live" else "simulated"
@@ -80,7 +98,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         samples = [(t, v) for t, v in result.throughput_series if int(t) % 10 == 0]
         print()
         print(format_series(samples, title="throughput", x_label="t (s)", y_label="tps"))
-    return 0
+    return _report_audit(result, args.audit)
 
 
 def cmd_live(args: argparse.Namespace) -> int:
@@ -89,7 +107,10 @@ def cmd_live(args: argparse.Namespace) -> int:
 
     config = _base_config(args)
     report = LiveCluster(
-        config, transport=args.transport, latency_scale=args.latency_scale
+        config,
+        transport=args.transport,
+        latency_scale=args.latency_scale,
+        metrics_port=args.metrics_port,
     ).run()
     print(
         format_table(
@@ -109,7 +130,7 @@ def cmd_live(args: argparse.Namespace) -> int:
             title="live-run health",
         )
     )
-    return 0
+    return _report_audit(report.result, args.audit)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -177,8 +198,15 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _summarize_trace_file(path: str, validate: bool) -> int:
-    from repro.obs import SCHEMA, format_trace_summary, read_trace, validate_events
+def _summarize_trace_file(path: str, validate: bool, audit: bool) -> int:
+    from repro.obs import (
+        SCHEMA,
+        audit_events,
+        format_audit_report,
+        format_trace_summary,
+        read_trace,
+        validate_events,
+    )
 
     try:
         events = read_trace(path)
@@ -195,12 +223,20 @@ def _summarize_trace_file(path: str, validate: bool) -> int:
         print(f"validated {len(events)} events against {SCHEMA}")
         print()
     print(format_trace_summary(events, source=path))
+    if audit:
+        auditor = audit_events(events)
+        print()
+        print(format_audit_report(auditor))
+        if not auditor.ok:
+            return 1
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_file is not None:
-        return _summarize_trace_file(args.trace_file, validate=args.validate)
+        return _summarize_trace_file(
+            args.trace_file, validate=args.validate, audit=args.audit
+        )
     trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
     stats = trace.demand_stats()
     print(
@@ -217,6 +253,92 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+    import subprocess
+    from pathlib import Path
+
+    from repro.harness import regression
+
+    specs = regression.load_specs()
+    names = set(specs)
+    if args.select:
+        names = {name for name in names if args.select in name}
+        if not names:
+            print(
+                f"no registered benchmark matches {args.select!r}; "
+                f"known: {sorted(specs)}",
+                file=sys.stderr,
+            )
+            return 2
+    artifacts_dir = Path(args.artifacts)
+    baselines_dir = (
+        Path(args.baselines)
+        if args.baselines is not None
+        else regression.default_baseline_dir()
+    )
+
+    if args.list:
+        rows = [
+            [
+                name,
+                specs[name].default.describe(),
+                len(specs[name].overrides),
+                regression.SPEC_SOURCES[name].name
+                if name in regression.SPEC_SOURCES
+                else "?",
+            ]
+            for name in sorted(names)
+        ]
+        print(
+            format_table(
+                ["bench", "default tolerance", "overrides", "source"],
+                rows,
+                title=f"registered baselines ({baselines_dir})",
+            )
+        )
+        return 0
+
+    if not args.check:
+        files = regression.bench_files_for(names)
+        if not files:
+            print("selection maps to no bench files", file=sys.stderr)
+            return 2
+        env = dict(os.environ)
+        env["BENCH_OUT_DIR"] = str(artifacts_dir)
+        src = Path(__file__).resolve().parents[1]
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (str(src), env.get("PYTHONPATH")) if part
+        )
+        command = [
+            sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+            *[str(path) for path in files],
+        ]
+        print(f"running {len(files)} bench file(s) -> {artifacts_dir}")
+        proc = subprocess.run(command, env=env)
+        if proc.returncode != 0:
+            print(
+                f"benchmark run failed (pytest exit {proc.returncode})",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.update_baselines:
+        written = regression.update_baselines(artifacts_dir, baselines_dir, names)
+        for path in written:
+            print(f"baseline updated: {path}")
+        if not written:
+            print(f"no BENCH_*.json artifacts in {artifacts_dir}", file=sys.stderr)
+            return 2
+        return 0
+
+    findings, compared = regression.check_artifacts(
+        artifacts_dir, baselines_dir, names
+    )
+    print(regression.format_report(findings, compared, len(names)))
+    return 1 if any(finding.fatal for finding in findings) else 0
+
+
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=120.0,
                         help="simulated seconds of load (default 120)")
@@ -229,8 +351,12 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--loss", type=float, default=0.0,
                         help="per-message loss probability")
     parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="write a JSONL telemetry trace here "
+                        help="write a JSONL telemetry trace here; use a .gz "
+                             "suffix for gzip "
                              "(summarize it with: python -m repro trace PATH)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the online invariant auditor against the "
+                             "run's event stream; violations exit non-zero")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency-scale", type=float, default=0.05,
         help="compression of the WAN latency matrix (asyncio transport)",
     )
+    live_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus /metrics on this localhost port for the "
+             "duration of the run (0 = pick a free port)",
+    )
     _add_experiment_args(live_parser)
     # Live duration is wall-clock; the sim default of 120 s would be a
     # two-minute hang, so default to a short run.
@@ -290,9 +421,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("--validate", action="store_true",
                               help="check every event against the trace schema")
+    trace_parser.add_argument("--audit", action="store_true",
+                              help="run the invariant auditor offline over "
+                                   "the trace; violations exit non-zero")
     trace_parser.add_argument("--days", type=float, default=7.0)
     trace_parser.add_argument("--seed", type=int, default=7)
     trace_parser.set_defaults(func=cmd_trace)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the benchmark suite and gate it against committed baselines",
+    )
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help="compare existing artifacts only (skip running the suite)",
+    )
+    bench_parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="promote artifacts to committed baselines instead of gating",
+    )
+    bench_parser.add_argument(
+        "-k", dest="select", default=None, metavar="SUBSTRING",
+        help="only benches whose artifact name contains SUBSTRING",
+    )
+    bench_parser.add_argument(
+        "--artifacts", default=".", metavar="DIR",
+        help="where BENCH_*.json artifacts are written/read (default: .)",
+    )
+    bench_parser.add_argument(
+        "--baselines", default=None, metavar="DIR",
+        help="committed baselines (default: benchmarks/baselines/)",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true",
+        help="list registered benches and tolerances, run nothing",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     return parser
 

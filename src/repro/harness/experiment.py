@@ -29,12 +29,14 @@ from repro.core.reallocation import (
 )
 from repro.harness.scenarios import RegionFault, resolve_faults
 from repro.metrics.hub import MetricsHub
-from repro.metrics.invariants import ConservationChecker
+from repro.metrics.invariants import ConservationChecker, InvariantViolation
 from repro.metrics.latency import LatencySummary
 from repro.net.faults import CrashController
 from repro.net.network import Network, NetworkConfig
 from repro.net.regions import MULTIPAXSYS_REGIONS, PAPER_REGIONS, Region
-from repro.obs.bus import EventBus, JsonlSink, Sink
+from repro.obs.audit import InvariantAuditor
+from repro.obs.bus import EventBus, JsonlSink, NullSink, Sink
+from repro.obs.registry import MetricsRegistry, TraceMetricsFeed
 from repro.obs.schema import SCHEMA
 from repro.prediction.arima import ArimaPredictor
 from repro.prediction.lstm import LstmPredictor
@@ -119,10 +121,19 @@ class ExperimentConfig:
     #: Spanner-style 3-US placement (used by the failure experiments,
     #: which crash/partition whole regions).
     multipaxsys_paper_regions: bool = False
-    #: Write a JSONL telemetry trace (repro.obs) here.  None disables
-    #: tracing entirely: no bus is built and every emit site stays a
-    #: single ``is None`` branch.
+    #: Write a JSONL telemetry trace (repro.obs) here (``.gz`` for a
+    #: gzip-compressed trace).  None disables the on-disk trace; a bus
+    #: is still built if ``audit`` or ``metrics`` ask for one, and with
+    #: all three off every emit site stays a single ``is None`` branch.
     trace_path: str | None = None
+    #: Subscribe the online invariant auditor (repro.obs.audit) to the
+    #: run's event stream; violations land in
+    #: ``ExperimentResult.audit_violations`` instead of raising mid-run.
+    audit: bool = False
+    #: Keep a live metrics registry (repro.obs.registry) fed from the
+    #: event stream; its snapshot lands in
+    #: ``ExperimentResult.metrics_snapshot`` (and bench artifacts).
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -164,6 +175,11 @@ class ExperimentResult:
     rounds: dict[str, float]
     tokens_left_total: int | None
     invariant_checks: int
+    #: Online-audit verdict (config.audit): one row per violation the
+    #: auditor recorded; empty means a clean run (or auditing off).
+    audit_violations: list[str] = field(default_factory=list)
+    #: Point-in-time registry dump (config.metrics or any traced run).
+    metrics_snapshot: dict[str, float] | None = None
 
     @property
     def committed_total(self) -> int:
@@ -208,16 +224,38 @@ class Experiment:
         if sink is None and config.trace_path is not None:
             sink = JsonlSink(config.trace_path)
             self._owned_sink = sink
+        if sink is None and (config.audit or config.metrics):
+            # Active monitoring without an on-disk trace: the bus fans
+            # events out to its taps and the sink discards them.
+            sink = NullSink()
         if sink is not None:
             self.obs = EventBus(self.kernel, sink)
             self.kernel.obs = self.obs
             self.network.obs = self.obs
+            partitions = getattr(self.network, "partitions", None)
+            if partitions is not None:
+                partitions.obs = self.obs
+        self.auditor: InvariantAuditor | None = None
+        self.registry: MetricsRegistry | None = None
+        if self.obs is not None:
+            # The auditor must be first in tap order so it sees events
+            # before any other consumer mutates shared state (none do
+            # today; the ordering is a contract, not a workaround).
+            if config.audit:
+                self.auditor = InvariantAuditor()
+                self.obs.subscribe(self.auditor)
+            self.registry = MetricsRegistry()
+            self.obs.subscribe(TraceMetricsFeed(self.registry))
         self.trace = SyntheticAzureTrace(config.trace)
         self.entity = Entity(config.entity_id, config.maximum)
         self.metrics = MetricsHub(config.bucket_seconds)
         self.clients: list[WorkloadClient] = []
         self.checker: ConservationChecker | None = None
         self.cluster = self._build_cluster()
+        if self.checker is not None and self.obs is not None:
+            # With a bus, safety violations become invariant.violation
+            # trace events (audited, never lost) instead of mid-run raises.
+            self.checker.obs = self.obs
         self.servers = self._servers()
         self._add_clients()
         self._controller = CrashController(self.kernel, self.network)
@@ -450,6 +488,14 @@ class Experiment:
         config = self.config
         if self.checker is not None:
             self.checker.check()
+            if self.checker.violations and self.auditor is None:
+                # A traced-but-unaudited run must still fail loudly: the
+                # violations are in the trace, but nobody is watching it.
+                raise InvariantViolation(
+                    f"{self.checker.violations} safety violation(s) recorded "
+                    "in the trace; re-run with auditing or see "
+                    "invariant.violation events"
+                )
         tokens_left = None
         if hasattr(self.cluster, "sites"):
             tokens_left = sum(site.state.tokens_left for site in self.cluster.sites)
@@ -493,6 +539,12 @@ class Experiment:
             )
             if self._owned_sink is not None:
                 obs.close()
+        if self.auditor is not None:
+            result.audit_violations = [
+                str(violation) for violation in self.auditor.finish()
+            ]
+        if self.registry is not None:
+            result.metrics_snapshot = self.registry.snapshot()
         return result
 
     def run(self) -> ExperimentResult:

@@ -1,0 +1,374 @@
+"""Benchmark regression gate: baselines, tolerances, and the comparison.
+
+Every benchmark writes a ``BENCH_<name>.json`` artifact
+(``harness.report.write_bench_json``); this module turns those from
+write-only exhaust into a gate.  Committed baselines live under
+``benchmarks/baselines/`` and each ``bench_*.py`` *registers* its
+artifact name with per-metric tolerances via :func:`register_baseline`.
+``python -m repro bench`` (see ``repro.cli``) runs the suite, compares
+every numeric headline leaf against its baseline, and exits non-zero
+when any metric drifts beyond tolerance — which is what makes the BENCH
+trajectory real: a perf or correctness regression fails CI with the
+metric named, instead of rotting silently.
+
+Comparison rules:
+
+* Only the ``headline`` tree is compared, flattened to dotted paths
+  (``throughput_avg.Samya Av.[(n+1)/2]``).  Provenance fields
+  (``schema``, ``git_sha``, ``config``, ``metrics``) are informational.
+* A numeric leaf must exist on both sides and agree within the metric's
+  :class:`Tolerance` (relative and absolute slack combined; the sim is
+  deterministic, so tolerances encode *acceptable intended drift*, not
+  noise).  Missing or extra leaves fail: a renamed metric is a baseline
+  update, not an accident.
+* ``seed`` must match when both sides carry it — different workloads
+  are not comparable.  Baselines produced before bench-json/2 may lack
+  ``schema``/``git_sha``/``seed``; the comparison backfills those as
+  ``unknown`` (a note, never a failure) so old artifacts stay usable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.report import BENCH_SCHEMA, format_table, git_sha
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed drift for one metric: ``|cur - base| <= max(abs, rel*|base|)``."""
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def allows(self, baseline: float, current: float) -> bool:
+        delta = baseline - current
+        if delta < 0:
+            delta = -delta
+        return delta <= max(self.abs, self.rel * (abs(baseline)))
+
+    def describe(self) -> str:
+        parts = []
+        if self.rel:
+            parts.append(f"±{self.rel * 100:g}%")
+        if self.abs:
+            parts.append(f"±{self.abs:g}")
+        return " or ".join(parts) if parts else "exact"
+
+
+@dataclass
+class BenchSpec:
+    """One benchmark's registration: artifact name + tolerances."""
+
+    name: str
+    default: Tolerance = field(default_factory=lambda: Tolerance(rel=0.10))
+    overrides: dict[str, Tolerance] = field(default_factory=dict)
+    #: Dotted-path prefixes to skip entirely (unstable diagnostics).
+    ignore: tuple[str, ...] = ()
+
+    def tolerance_for(self, path: str) -> Tolerance:
+        best: Tolerance | None = None
+        best_len = -1
+        for prefix, tolerance in self.overrides.items():
+            if (path == prefix or path.startswith(prefix + ".")) and len(
+                prefix
+            ) > best_len:
+                best, best_len = tolerance, len(prefix)
+        return best if best is not None else self.default
+
+    def ignored(self, path: str) -> bool:
+        return any(
+            path == prefix or path.startswith(prefix + ".")
+            for prefix in self.ignore
+        )
+
+
+#: Artifact name -> spec; populated by the bench modules at import time.
+SPECS: dict[str, BenchSpec] = {}
+
+#: Artifact name -> the bench_*.py that registered it (filled by
+#: load_specs; lets the CLI run exactly the files a selection needs).
+SPEC_SOURCES: dict[str, Path] = {}
+
+
+def register_baseline(
+    name: str,
+    default: Tolerance | None = None,
+    overrides: dict[str, Tolerance] | None = None,
+    ignore: tuple[str, ...] = (),
+) -> BenchSpec:
+    """Declare a benchmark's baseline contract (called by bench_*.py)."""
+    spec = BenchSpec(
+        name=name,
+        default=default if default is not None else Tolerance(rel=0.10),
+        overrides=dict(overrides or {}),
+        ignore=tuple(ignore),
+    )
+    SPECS[name] = spec
+    return spec
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome worth reporting."""
+
+    bench: str
+    kind: str  # "regression" | "missing" | "extra" | "seed" | "note"
+    metric: str
+    detail: str
+    fatal: bool
+
+    def row(self) -> list[object]:
+        return [self.bench, self.kind, self.metric, self.detail]
+
+
+def numeric_leaves(tree: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to dotted-path -> number (bools excluded)."""
+    out: dict[str, float] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(numeric_leaves(value, path))
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        out[prefix] = float(tree)
+    return out
+
+
+def compare_payloads(
+    current: dict[str, Any], baseline: dict[str, Any], spec: BenchSpec
+) -> list[Finding]:
+    """All findings from one artifact-vs-baseline comparison."""
+    bench = spec.name
+    findings: list[Finding] = []
+    # Provenance: backfill pre-bench-json/2 baselines instead of failing.
+    if "schema" not in baseline:
+        findings.append(
+            Finding(bench, "note", "schema",
+                    f"baseline predates {BENCH_SCHEMA}; provenance backfilled "
+                    "as unknown", fatal=False)
+        )
+    cur_seed = current.get("seed")
+    base_seed = baseline.get("seed")
+    if cur_seed is not None and base_seed is not None and cur_seed != base_seed:
+        findings.append(
+            Finding(bench, "seed", "seed",
+                    f"baseline seed {base_seed} != current seed {cur_seed}; "
+                    "not comparable", fatal=True)
+        )
+        return findings
+    base_metrics = numeric_leaves(baseline.get("headline", {}))
+    cur_metrics = numeric_leaves(current.get("headline", {}))
+    for path in sorted(base_metrics):
+        if spec.ignored(path):
+            continue
+        base_value = base_metrics[path]
+        if path not in cur_metrics:
+            findings.append(
+                Finding(bench, "missing", path,
+                        f"baseline has {base_value:g}, current artifact lacks "
+                        "the metric", fatal=True)
+            )
+            continue
+        cur_value = cur_metrics[path]
+        tolerance = spec.tolerance_for(path)
+        if not tolerance.allows(base_value, cur_value):
+            drift = (
+                (cur_value - base_value) / base_value * 100.0
+                if base_value
+                else float("inf")
+            )
+            findings.append(
+                Finding(bench, "regression", path,
+                        f"{base_value:g} -> {cur_value:g} ({drift:+.1f}%, "
+                        f"tolerance {tolerance.describe()})", fatal=True)
+            )
+    for path in sorted(set(cur_metrics) - set(base_metrics)):
+        if spec.ignored(path):
+            continue
+        findings.append(
+            Finding(bench, "extra", path,
+                    f"current artifact has {cur_metrics[path]:g} but the "
+                    "baseline lacks the metric; update baselines", fatal=True)
+        )
+    return findings
+
+
+# -- artifact/baseline directories ------------------------------------------
+
+
+def repo_bench_dir() -> Path:
+    """``benchmarks/`` of this checkout (src layout: src/repro/harness/..)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks"
+
+
+def default_baseline_dir() -> Path:
+    return repo_bench_dir() / "baselines"
+
+
+def artifact_name(path: Path) -> str | None:
+    if path.name.startswith("BENCH_") and path.suffix == ".json":
+        return path.name[len("BENCH_"):-len(".json")]
+    return None
+
+
+def load_specs(bench_dir: Path | None = None) -> dict[str, BenchSpec]:
+    """Import every ``bench_*.py`` so their registrations land in SPECS.
+
+    Import is cheap (module level builds configs, runs nothing); the
+    modules are loaded under a ``benchspec_`` alias so pytest can still
+    import them normally later in the same process.
+    """
+    directory = bench_dir if bench_dir is not None else repo_bench_dir()
+    for path in sorted(directory.glob("bench_*.py")):
+        module_name = f"benchspec_{path.stem}"
+        if module_name in sys.modules:
+            continue
+        inserted = str(directory) not in sys.path
+        if inserted:
+            sys.path.insert(0, str(directory))  # bench modules import conftest
+        before = set(SPECS)
+        try:
+            module_spec = importlib.util.spec_from_file_location(module_name, path)
+            if module_spec is None or module_spec.loader is None:
+                continue
+            module = importlib.util.module_from_spec(module_spec)
+            sys.modules[module_name] = module
+            module_spec.loader.exec_module(module)
+        finally:
+            if inserted:
+                sys.path.remove(str(directory))
+        for name in set(SPECS) - before:
+            SPEC_SOURCES[name] = path
+    return SPECS
+
+
+def bench_files_for(names: set[str]) -> list[Path]:
+    """The bench_*.py files a selection of artifact names lives in."""
+    return sorted({SPEC_SOURCES[name] for name in names if name in SPEC_SOURCES})
+
+
+def check_artifacts(
+    artifacts_dir: Path,
+    baselines_dir: Path,
+    names: set[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Compare every selected artifact/baseline pair.
+
+    Returns (findings, compared_count).  Selection (``names``) limits
+    the gate to benches actually run — a subset run must not fail on
+    the baselines it skipped.
+    """
+    findings: list[Finding] = []
+    compared = 0
+    artifacts = {
+        name: path
+        for path in sorted(artifacts_dir.glob("BENCH_*.json"))
+        if (name := artifact_name(path)) is not None
+    }
+    baselines = {
+        name: path
+        for path in sorted(baselines_dir.glob("BENCH_*.json"))
+        if (name := artifact_name(path)) is not None
+    }
+    selected = names if names is not None else set(artifacts) | set(baselines)
+    for name in sorted(selected):
+        spec = SPECS.get(name, BenchSpec(name=name))
+        artifact_path = artifacts.get(name)
+        baseline_path = baselines.get(name)
+        if artifact_path is None and baseline_path is None:
+            findings.append(
+                Finding(name, "missing", "-",
+                        "no artifact and no baseline for selected bench",
+                        fatal=True)
+            )
+            continue
+        if baseline_path is None:
+            findings.append(
+                Finding(name, "missing", "-",
+                        "no committed baseline; run "
+                        "`python -m repro bench --update-baselines`",
+                        fatal=True)
+            )
+            continue
+        if artifact_path is None:
+            findings.append(
+                Finding(name, "missing", "-",
+                        f"baseline exists but no artifact in {artifacts_dir}",
+                        fatal=True)
+            )
+            continue
+        try:
+            current = json.loads(artifact_path.read_text(encoding="utf-8"))
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            findings.append(
+                Finding(name, "missing", "-", f"unreadable artifact: {exc}",
+                        fatal=True)
+            )
+            continue
+        compared += 1
+        findings.extend(compare_payloads(current, baseline, spec))
+    return findings, compared
+
+
+def update_baselines(
+    artifacts_dir: Path,
+    baselines_dir: Path,
+    names: set[str] | None = None,
+) -> list[Path]:
+    """Promote artifacts to committed baselines (backfilling provenance)."""
+    baselines_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for path in sorted(artifacts_dir.glob("BENCH_*.json")):
+        name = artifact_name(path)
+        if name is None or (names is not None and name not in names):
+            continue
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        # Backfill: artifacts written before bench-json/2 gain the
+        # provenance fields at promotion time.
+        payload.setdefault("schema", BENCH_SCHEMA)
+        payload.setdefault("git_sha", git_sha())
+        target = baselines_dir / path.name
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(target)
+    return written
+
+
+def copy_artifacts(src: Path, dst: Path) -> None:
+    """Mirror BENCH artifacts (CI upload helper)."""
+    dst.mkdir(parents=True, exist_ok=True)
+    for path in src.glob("BENCH_*.json"):
+        shutil.copy2(path, dst / path.name)
+
+
+def format_report(
+    findings: list[Finding], compared: int, checked_names: int
+) -> str:
+    """Human-readable gate verdict."""
+    fatal = [finding for finding in findings if finding.fatal]
+    notes = [finding for finding in findings if not finding.fatal]
+    lines: list[str] = []
+    if findings:
+        lines.append(
+            format_table(
+                ["bench", "kind", "metric", "detail"],
+                [finding.row() for finding in findings],
+                title="regression gate findings",
+            )
+        )
+        lines.append("")
+    verdict = "PASS" if not fatal else f"FAIL ({len(fatal)} fatal finding(s))"
+    lines.append(
+        f"regression gate: {verdict} — {compared} artifact(s) compared "
+        f"across {checked_names} bench(es), {len(notes)} note(s)"
+    )
+    return "\n".join(lines)

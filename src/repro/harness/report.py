@@ -12,9 +12,44 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import subprocess
 from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
+
+#: Bench-artifact format version.  /1 was headline+config+seed; /2 adds
+#: ``schema``, ``git_sha``, and optional ``metrics`` — the fields the
+#: regression gate (repro.harness.regression) keys baselines on.
+BENCH_SCHEMA = "bench-json/2"
+
+_GIT_SHA: str | None = None
+
+
+def git_sha() -> str:
+    """The current commit (``-dirty`` suffixed), or ``unknown``.
+
+    Cached per process: benchmarks call ``write_bench_json`` once each
+    and must not pay a subprocess per artifact.
+    """
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            here = Path(__file__).resolve().parent
+            sha = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=here, capture_output=True, text=True, timeout=10,
+            ).stdout.strip()
+            if sha:
+                dirty = subprocess.run(
+                    ["git", "status", "--porcelain"],
+                    cwd=here, capture_output=True, text=True, timeout=10,
+                ).stdout.strip()
+                _GIT_SHA = sha + ("-dirty" if dirty else "")
+            else:
+                _GIT_SHA = "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
 
 
 def format_table(
@@ -73,25 +108,38 @@ def write_bench_json(
     config: Any = None,
     seed: int | None = None,
     out_dir: str | os.PathLike | None = None,
+    metrics: dict[str, Any] | None = None,
 ) -> Path:
-    """Write ``BENCH_<name>.json``: headline numbers + config + seed.
+    """Write ``BENCH_<name>.json``: headline numbers + provenance.
 
-    ``config`` may be an ``ExperimentConfig`` (serialized via
-    ``dataclasses.asdict``), a plain dict, or ``None``.  Non-JSON values
-    (Region enums, TraceConfig) fall back to ``str``.  The artifact
-    lands in ``out_dir``, the ``BENCH_OUT_DIR`` env var, or the current
+    Every artifact is stamped with the bench-json schema version and
+    the producing git commit so committed baselines are attributable;
+    ``seed`` makes a baseline-vs-current comparison refuse to compare
+    different workloads.  ``config`` may be an ``ExperimentConfig``
+    (serialized via ``dataclasses.asdict``), a plain dict, or ``None``.
+    Non-JSON values (Region enums, TraceConfig) fall back to ``str``.
+    ``metrics`` embeds a point-in-time registry snapshot
+    (``ExperimentResult.metrics_snapshot``).  The artifact lands in
+    ``out_dir``, the ``BENCH_OUT_DIR`` env var, or the current
     directory, in that order — CI points BENCH_OUT_DIR at its artifact
     upload path.
     """
     directory = Path(out_dir or os.environ.get("BENCH_OUT_DIR", "."))
     directory.mkdir(parents=True, exist_ok=True)
-    payload: dict[str, Any] = {"bench": name, "headline": headline}
+    payload: dict[str, Any] = {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "git_sha": git_sha(),
+        "headline": headline,
+    }
     if config is not None:
         if dataclasses.is_dataclass(config) and not isinstance(config, type):
             config = dataclasses.asdict(config)
         payload["config"] = config
     if seed is not None:
         payload["seed"] = seed
+    if metrics is not None:
+        payload["metrics"] = metrics
     path = directory / f"BENCH_{name}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",

@@ -12,6 +12,20 @@ site holds its new share while a not-yet-applied (frozen) participant
 still shows its pooled balance.  The checker resolves the transient by
 substituting the decided grant for every participant that has not
 applied yet, so any *real* leak or double-spend still trips it.
+
+Reporting
+---------
+Without a telemetry bus the checker raises :class:`InvariantViolation`
+— the right behaviour for tests and untraced benchmark runs, where a
+broken invariant must fail the run on the spot.  With a bus attached
+(``checker.obs = bus``, done by the harness whenever tracing or
+auditing is on) it instead emits ``invariant.violation`` events with
+the full arithmetic and keeps running, and every audit records an
+``invariant.check`` event; the online/offline auditor
+(:mod:`repro.obs.audit`) re-verifies those numbers and turns any
+violation into a non-zero exit.  A live asyncio run in particular must
+not unwind the event loop from a timer callback mid-experiment — the
+trace plus the auditor preserve the failure without losing the run.
 """
 
 from __future__ import annotations
@@ -40,11 +54,26 @@ class ConservationChecker:
         self._sites: list = []
         self._values: dict[object, _ValueRecord] = {}
         self.checks = 0
+        self.violations = 0
+        #: Telemetry bus; when set, violations become ``invariant.violation``
+        #: events (and audits ``invariant.check`` events) instead of raises.
+        self.obs = None
 
     def watch(self, sites: list) -> None:
         self._sites = list(sites)
         for site in sites:
             site.apply_listeners.append(self._on_apply)
+
+    def _violation(self, invariant: str, detail: str, **context) -> None:
+        """Report one broken invariant: emit in-trace, or raise."""
+        self.violations += 1
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "invariant.violation", invariant=invariant, detail=detail, **context
+            )
+            return
+        raise InvariantViolation(detail)
 
     def _on_apply(self, site, value, granted) -> None:
         record = self._values.get(value.value_id)
@@ -59,9 +88,11 @@ class ConservationChecker:
             )
             self._values[value.value_id] = record
         if granted is not None and record.granted != granted:
-            raise InvariantViolation(
+            self._violation(
+                "agreement",
                 f"sites disagree on the allocation of {value.value_id}: "
-                f"{record.granted} vs {granted} — Avantan agreement broken"
+                f"{record.granted} vs {granted} — Avantan agreement broken",
+                value_id=str(value.value_id),
             )
         record.applied_by.add(site.name)
 
@@ -96,14 +127,30 @@ class ConservationChecker:
         self.checks += 1
         settled = self.settled_tokens()
         outstanding = self.outstanding_tokens()
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "invariant.check",
+                settled=settled,
+                outstanding=outstanding,
+                maximum=self.maximum,
+                checks=self.checks,
+            )
         if settled + outstanding != self.maximum:
-            raise InvariantViolation(
+            self._violation(
+                "conservation",
                 f"token conservation broken: {settled} at sites + "
-                f"{outstanding} held by clients != M_e={self.maximum}"
+                f"{outstanding} held by clients != M_e={self.maximum}",
+                settled=settled,
+                outstanding=outstanding,
+                maximum=self.maximum,
             )
         if outstanding > self.maximum or outstanding < 0:
-            raise InvariantViolation(
-                f"Eq. 1 violated: clients hold {outstanding} of {self.maximum}"
+            self._violation(
+                "eq1",
+                f"Eq. 1 violated: clients hold {outstanding} of {self.maximum}",
+                outstanding=outstanding,
+                maximum=self.maximum,
             )
 
     def install_periodic(self, kernel, interval: float, until: float) -> None:

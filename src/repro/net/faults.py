@@ -78,16 +78,25 @@ class CrashController:
     def _apply(self, event: FaultEvent) -> None:
         self.applied.append(event)
         if event.action == "crash":
+            self._emit_fault("fault.crash", targets=",".join(event.targets))
             for name in event.targets:
                 actor = self._actors.get(name)
                 if actor is not None:
                     actor.crash()
         elif event.action == "recover":
+            self._emit_fault("fault.recover", targets=",".join(event.targets))
             for name in event.targets:
                 actor = self._actors.get(name)
                 if actor is not None:
                     actor.recover()
         elif event.action == "partition":
+            # The partition controller emits fault.partition itself, so
+            # partitions applied outside a schedule are traced too.
             self.network.partitions.partition(event.groups)
         elif event.action == "heal":
             self.network.partitions.heal()
+
+    def _emit_fault(self, etype: str, **fields) -> None:
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None:
+            obs.emit(etype, **fields)

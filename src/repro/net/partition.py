@@ -16,6 +16,11 @@ class PartitionController:
 
     def __init__(self) -> None:
         self._group_of: dict[str, int] | None = None
+        #: Telemetry bus; when set, ``partition``/``heal`` emit
+        #: ``fault.partition``/``fault.heal`` trace events so an auditor
+        #: can correlate drops and latency spikes with the split.  The
+        #: harness wires this alongside the transport's own ``obs``.
+        self.obs = None
 
     @property
     def active(self) -> bool:
@@ -23,6 +28,7 @@ class PartitionController:
 
     def partition(self, groups: Iterable[Iterable[str]]) -> None:
         """Split the network into the given groups of endpoint names."""
+        groups = [tuple(group) for group in groups]
         group_of: dict[str, int] = {}
         for index, group in enumerate(groups):
             for name in group:
@@ -30,10 +36,15 @@ class PartitionController:
                     raise ValueError(f"endpoint {name!r} appears in two groups")
                 group_of[name] = index
         self._group_of = group_of
+        if self.obs is not None:
+            described = "|".join(",".join(group) for group in groups)
+            self.obs.emit("fault.partition", groups=described)
 
     def heal(self) -> None:
         """Remove the partition; full connectivity is restored."""
         self._group_of = None
+        if self.obs is not None:
+            self.obs.emit("fault.heal")
 
     def can_communicate(self, a: str, b: str) -> bool:
         if self._group_of is None:

@@ -17,6 +17,18 @@ future perf/robustness change measure themselves with:
 * :mod:`repro.obs.summary` — turns a trace into the per-phase latency
   and per-message-type tables ``python -m repro trace FILE`` prints.
 
+The **active monitoring** layer (``repro.obs.monitor`` in DESIGN.md §3)
+rides the same stream as bus taps:
+
+* :mod:`repro.obs.audit` — an online/offline invariant auditor that
+  checks structural trace invariants and the Samya safety arithmetic
+  (Eq. 1, token conservation) and reports violations instead of
+  asserting mid-run.
+* :mod:`repro.obs.registry` — a counter/gauge/histogram registry fed
+  from the same emit sites, snapshot into bench artifacts.
+* :mod:`repro.obs.exposition` — Prometheus text rendering and the
+  asyncio ``/metrics`` endpoint for live runs.
+
 Timestamps are **substrate clock seconds** — simulated seconds under the
 discrete-event kernel, wall seconds since loop start under the live
 clock — so sim and live traces share one schema and one summarizer.
@@ -27,7 +39,9 @@ events, so a fixed-seed sim run produces bit-identical results (and an
 identical event stream) with tracing on or off.
 """
 
-from repro.obs.bus import EventBus, JsonlSink, RingSink, trace_id_of
+from repro.obs.audit import InvariantAuditor, audit_events, format_audit_report
+from repro.obs.bus import EventBus, JsonlSink, NullSink, RingSink, trace_id_of
+from repro.obs.registry import MetricsRegistry, TraceMetricsFeed, feed_registry
 from repro.obs.schema import (
     SCHEMA,
     read_trace,
@@ -38,9 +52,16 @@ from repro.obs.summary import format_trace_summary
 
 __all__ = [
     "EventBus",
+    "InvariantAuditor",
     "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
     "RingSink",
     "SCHEMA",
+    "TraceMetricsFeed",
+    "audit_events",
+    "feed_registry",
+    "format_audit_report",
     "format_trace_summary",
     "read_trace",
     "trace_id_of",

@@ -25,15 +25,26 @@ for free and no protocol module imports this one.  Every message that
 belongs to one logical flow therefore shares one id, and a client
 request can be followed across sites, rounds, and redistribution flows
 by filtering the trace on it.
+
+Taps
+----
+Besides its one sink, a bus carries any number of *taps*: callables
+invoked with every event after the sink writes it.  Taps are how the
+active-monitoring layer (``repro.obs.monitor``: the invariant auditor
+and the metrics registry) rides the live stream without a second emit
+surface — same events, same order, zero cost when none is subscribed.
+Taps must observe, never emit: calling back into the bus from a tap is
+a programming error (it would re-enter the tap list mid-iteration).
 """
 
 from __future__ import annotations
 
+import gzip
 import itertools
 import json
 from collections import deque
 from pathlib import Path
-from typing import Any, Protocol
+from typing import Any, Callable, Protocol
 
 
 class Sink(Protocol):
@@ -44,6 +55,21 @@ class Sink(Protocol):
 
     def close(self) -> None:  # pragma: no cover
         ...
+
+
+class NullSink:
+    """Discards everything.
+
+    Used when a run wants live consumers (auditor, metrics registry)
+    but no on-disk trace: the bus still stamps and fans out events to
+    its taps, the sink just never materialises them.
+    """
+
+    def write(self, event: dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
 
 
 class RingSink:
@@ -69,12 +95,17 @@ class JsonlSink:
     """One JSON object per line; the on-disk trace format.
 
     Events are written eagerly (no buffering beyond the file object's)
-    so a crashed run still leaves a readable prefix.
+    so a crashed run still leaves a readable prefix.  A path ending in
+    ``.gz`` writes through gzip — traces compress ~10x and
+    ``repro.obs.schema.read_trace`` reads both forms transparently.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._fh = open(self.path, "w", encoding="utf-8")
+        if self.path.suffix == ".gz":
+            self._fh = gzip.open(self.path, "wt", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
 
     def write(self, event: dict[str, Any]) -> None:
         self._fh.write(json.dumps(event, separators=(",", ":"), default=str))
@@ -86,9 +117,10 @@ class JsonlSink:
 
 
 class EventBus:
-    """Emit surface: stamps events with the substrate clock, one sink."""
+    """Emit surface: stamps events with the substrate clock, one sink,
+    and any number of read-only taps (see module docstring)."""
 
-    __slots__ = ("clock", "sink", "_span_ids", "_open_spans")
+    __slots__ = ("clock", "sink", "_span_ids", "_open_spans", "_taps")
 
     def __init__(self, clock, sink: Sink) -> None:
         self.clock = clock
@@ -96,13 +128,23 @@ class EventBus:
         self._span_ids = itertools.count(1)
         #: span_id -> (name, node, started_at, trace_id)
         self._open_spans: dict[int, tuple[str, str, float, str | None]] = {}
+        self._taps: list[Callable[[dict[str, Any]], None]] = []
+
+    def subscribe(self, tap: Callable[[dict[str, Any]], None]) -> None:
+        """Attach a live consumer; it sees every event, in emit order."""
+        self._taps.append(tap)
+
+    def _write(self, event: dict[str, Any]) -> None:
+        self.sink.write(event)
+        for tap in self._taps:
+            tap(event)
 
     # -- events ------------------------------------------------------------
 
     def emit(self, etype: str, node: str = "", **fields: Any) -> None:
         event: dict[str, Any] = {"ts": self.clock.now, "type": etype, "node": node}
         event.update(fields)
-        self.sink.write(event)
+        self._write(event)
 
     # -- spans -------------------------------------------------------------
 
@@ -121,7 +163,7 @@ class EventBus:
         if trace_id is not None:
             event["trace_id"] = trace_id
         event.update(attrs)
-        self.sink.write(event)
+        self._write(event)
         return span_id
 
     def span_end(self, span_id: int, outcome: str = "ok", **attrs: Any) -> None:
@@ -141,7 +183,7 @@ class EventBus:
         if trace_id is not None:
             event["trace_id"] = trace_id
         event.update(attrs)
-        self.sink.write(event)
+        self._write(event)
 
     @property
     def open_spans(self) -> int:

@@ -1,0 +1,133 @@
+"""Prometheus text-format rendering and the live ``/metrics`` endpoint.
+
+Rendering follows the text exposition format 0.0.4: ``# HELP`` and
+``# TYPE`` headers per metric family, one sample per line, histograms
+as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+The server is a minimal asyncio HTTP/1.0 responder — just enough for
+``curl`` and a Prometheus scraper — because a live run already owns an
+event loop and must not grow a web-framework dependency.
+
+Wiring: ``python -m repro live --metrics-port 9100`` starts the
+endpoint next to the experiment; every scrape renders the registry the
+:class:`~repro.obs.registry.TraceMetricsFeed` tap keeps current.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labelnames, labels, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape(str(value))}"'
+        for name, value in zip(labelnames, labels)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            for labels, value in sorted(instrument.cells.items()):
+                lines.append(
+                    f"{name}{_labels(instrument.labelnames, labels)}"
+                    f" {_format_value(value)}"
+                )
+        elif isinstance(instrument, Histogram):
+            for labels, counts in sorted(instrument.cells.items()):
+                cumulative = 0
+                for bound, count in zip(instrument.buckets, counts):
+                    cumulative += count
+                    le = _labels(instrument.labelnames, labels, f'le="{bound}"')
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += counts[-1]
+                le = _labels(instrument.labelnames, labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                plain = _labels(instrument.labelnames, labels)
+                lines.append(
+                    f"{name}_sum{plain} {_format_value(instrument.sums[labels])}"
+                )
+                lines.append(f"{name}_count{plain} {cumulative}")
+    return "\n".join(lines) + "\n"
+
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves ``GET /metrics`` for one registry on localhost."""
+
+    def __init__(
+        self, registry: MetricsRegistry, port: int, host: str = "127.0.0.1"
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.scrapes = 0
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        # Port 0 means "pick one"; record what the OS chose.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1", "replace").split()
+            # Drain headers; HTTP/1.0 close-after-response keeps it simple.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) >= 2 and parts[0] == "GET" and (
+                parts[1] in ("/metrics", "/metrics/", "/")
+            ):
+                self.scrapes += 1
+                body = render_prometheus(self.registry).encode("utf-8")
+                status = "200 OK"
+            else:
+                body = b"try GET /metrics\n"
+                status = "404 Not Found"
+            writer.write(
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {CONTENT_TYPE}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n".encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()

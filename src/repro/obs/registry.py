@@ -1,0 +1,295 @@
+"""Counter/gauge/histogram registry fed from the telemetry stream.
+
+The registry is the numeric face of the trace: where the trace is the
+full ordered story, the registry is the running totals a scrape (or a
+bench artifact) wants.  It is deliberately dependency-free and
+Prometheus-shaped — counters only go up, gauges are set, histograms
+have cumulative buckets — so :mod:`repro.obs.exposition` can render it
+in the standard text format without translation.
+
+Instruments are keyed by (name, label values); label sets are tiny and
+bounded (message types, region pairs, span names), so plain dicts are
+fine.  :class:`TraceMetricsFeed` is the bridge from the event stream:
+subscribed as an :class:`~repro.obs.bus.EventBus` tap, it folds every
+event into the standard instrument set below, which means sim runs,
+live runs, and offline trace replays all produce identical metrics for
+identical traffic.
+
+Standard instruments (all prefixed ``repro_``):
+
+==============================  =========  ==============================
+name                            kind       labels
+==============================  =========  ==============================
+``events_total``                counter    ``type``
+``messages_total``              counter    ``event`` (send/deliver/drop), ``msg_type``
+``message_latency_seconds``     histogram  ``src_region``, ``dst_region``
+``span_duration_seconds``       histogram  ``span``
+``requests_total``              counter    ``outcome``
+``reallocations_total``         counter    ``event`` (trigger/apply)
+``faults_total``                counter    ``action``
+``invariant_checks_total``      counter    —
+``invariant_violations_total``  counter    ``invariant``
+``tokens_left``                 gauge      ``node``
+``clock_seconds``               gauge      —
+==============================  =========  ==============================
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Mapping
+
+#: Default histogram buckets (seconds): spans the intra-region RTT
+#: (~1 ms) through consensus-system client queueing (seconds).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelValues = tuple[str, ...]
+
+
+class Counter:
+    """Monotone counter, one cell per label-value tuple."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.cells: dict[LabelValues, float] = {}
+
+    def inc(self, *labels: str, value: float = 1.0) -> None:
+        key = tuple(labels)
+        self.cells[key] = self.cells.get(key, 0.0) + value
+
+
+class Gauge:
+    """Last-write-wins value, one cell per label-value tuple."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.cells: dict[LabelValues, float] = {}
+
+    def set(self, *labels: str, value: float) -> None:
+        self.cells[tuple(labels)] = value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = tuple(sorted(buckets))
+        #: label values -> [per-bucket counts..., +Inf count]
+        self.cells: dict[LabelValues, list[int]] = {}
+        self.sums: dict[LabelValues, float] = {}
+
+    def observe(self, *labels: str, value: float) -> None:
+        key = tuple(labels)
+        counts = self.cells.get(key)
+        if counts is None:
+            counts = [0] * (len(self.buckets) + 1)
+            self.cells[key] = counts
+            self.sums[key] = 0.0
+        counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sums[key] += value
+
+    def count(self, *labels: str) -> int:
+        return sum(self.cells.get(tuple(labels), ()))
+
+
+class MetricsRegistry:
+    """Holds instruments; snapshot/render are the two read paths."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter(name, help, labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge(name, help, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram(name, help, labelnames, buckets))
+
+    def _get_or_create(self, instrument):
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument) or (
+                existing.labelnames != instrument.labelnames
+            ):
+                raise ValueError(
+                    f"instrument {instrument.name!r} re-registered with a "
+                    "different kind or label set"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def instruments(self) -> Iterable[Counter | Gauge | Histogram]:
+        return self._instruments.values()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time JSON-safe dump (embedded in bench artifacts).
+
+        Counters and gauges flatten to ``name{label="v",...}`` keys;
+        histograms report count and sum per cell (bucket detail stays
+        in the scrape path, where it belongs).
+        """
+        out: dict[str, Any] = {}
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Histogram):
+                for labels, counts in sorted(instrument.cells.items()):
+                    key = _flat_key(instrument.name, instrument.labelnames, labels)
+                    out[key + "_count"] = sum(counts)
+                    out[key + "_sum"] = round(instrument.sums[labels], 9)
+            else:
+                for labels, value in sorted(instrument.cells.items()):
+                    key = _flat_key(instrument.name, instrument.labelnames, labels)
+                    out[key] = value
+        return out
+
+
+def _flat_key(name: str, labelnames: tuple[str, ...], labels: LabelValues) -> str:
+    if not labelnames:
+        return name
+    inner = ",".join(
+        f'{label}="{value}"' for label, value in zip(labelnames, labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+class TraceMetricsFeed:
+    """EventBus tap that folds repro-trace/1 events into a registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.events = registry.counter(
+            "repro_events_total", "Trace events by type", ("type",)
+        )
+        self.messages = registry.counter(
+            "repro_messages_total",
+            "Transport-plane envelopes by event and payload type",
+            ("event", "msg_type"),
+        )
+        self.message_latency = registry.histogram(
+            "repro_message_latency_seconds",
+            "Delivery latency per region pair",
+            ("src_region", "dst_region"),
+        )
+        self.span_duration = registry.histogram(
+            "repro_span_duration_seconds",
+            "Completed protocol-phase spans",
+            ("span",),
+        )
+        self.requests = registry.counter(
+            "repro_requests_total", "Client request outcomes", ("outcome",)
+        )
+        self.reallocations = registry.counter(
+            "repro_reallocations_total", "Redistribution decision points", ("event",)
+        )
+        self.faults = registry.counter(
+            "repro_faults_total", "Injected faults", ("action",)
+        )
+        self.invariant_checks = registry.counter(
+            "repro_invariant_checks_total", "Conservation audits run"
+        )
+        self.invariant_violations = registry.counter(
+            "repro_invariant_violations_total",
+            "Safety invariant violations reported",
+            ("invariant",),
+        )
+        self.tokens_left = registry.gauge(
+            "repro_tokens_left", "Last observed per-site token balance", ("node",)
+        )
+        self.clock = registry.gauge(
+            "repro_clock_seconds", "Substrate clock of the last event"
+        )
+
+    def __call__(self, event: Mapping[str, Any]) -> None:
+        etype = event.get("type", "")
+        self.events.inc(etype)
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)) and not isinstance(ts, bool):
+            self.clock.set(value=float(ts))
+        if etype.startswith("msg."):
+            self.messages.inc(etype[4:], str(event.get("msg_type", "?")))
+            if etype == "msg.deliver":
+                latency = event.get("latency")
+                if isinstance(latency, (int, float)):
+                    self.message_latency.observe(
+                        str(event.get("src_region", "?")),
+                        str(event.get("dst_region", "?")),
+                        value=float(latency),
+                    )
+        elif etype == "span.end":
+            self.span_duration.observe(
+                str(event.get("span", "?")), value=float(event.get("dur", 0.0))
+            )
+            if event.get("span") == "request":
+                self.requests.inc(str(event.get("outcome", "?")))
+        elif etype in ("realloc.trigger", "realloc.apply"):
+            self.reallocations.inc(etype[8:])
+            if etype == "realloc.apply":
+                tokens_after = event.get("tokens_after")
+                if isinstance(tokens_after, int):
+                    self.tokens_left.set(
+                        str(event.get("node", "")), value=float(tokens_after)
+                    )
+        elif etype.startswith("fault."):
+            self.faults.inc(etype[6:])
+        elif etype == "invariant.check":
+            self.invariant_checks.inc()
+        elif etype == "invariant.violation":
+            self.invariant_violations.inc(str(event.get("invariant", "?")))
+        elif etype == "site.serve":
+            tokens = event.get("tokens_left")
+            if isinstance(tokens, int):
+                self.tokens_left.set(str(event.get("node", "")), value=float(tokens))
+
+
+def feed_registry(events: Iterable[Mapping[str, Any]]) -> MetricsRegistry:
+    """Replay an event stream into a fresh registry (offline path)."""
+    registry = MetricsRegistry()
+    feed = TraceMetricsFeed(registry)
+    for event in events:
+        feed(event)
+    return registry

@@ -31,6 +31,15 @@ The taxonomy, by layer:
 * ``substrate.health`` — live-run drift and transport counters
   (:class:`repro.runtime.metrics.LiveRunStats` emits these into the same
   trace instead of keeping a parallel dict).
+* ``invariant.*`` — the safety-audit plane: ``invariant.check`` records
+  every conservation audit's arithmetic (settled + outstanding + transit
+  = M_e) so an offline reader can re-verify it, and
+  ``invariant.violation`` is a checker reporting a broken safety
+  property *in the trace* instead of raising mid-run (see
+  :mod:`repro.obs.audit`).
+* ``fault.*`` — injected faults (crash, recover, partition, heal), so
+  violations and latency spikes can be correlated with the fault that
+  caused them.
 
 Bump :data:`SCHEMA` when a field changes meaning; adding a new event
 type or optional field is backwards compatible.
@@ -38,6 +47,7 @@ type or optional field is backwards compatible.
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import Any, Iterable
@@ -135,6 +145,37 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
             "messages_dropped": _INT,
         },
     },
+    "invariant.check": {
+        "required": {"settled": _INT, "outstanding": _INT, "maximum": _INT},
+        "optional": {"transit": _INT, "checks": _INT},
+    },
+    "invariant.violation": {
+        "required": {"invariant": _STR, "detail": _STR},
+        "optional": {
+            "trace_id": _STR,
+            "value_id": _STR,
+            "settled": _INT,
+            "outstanding": _INT,
+            "transit": _INT,
+            "maximum": _INT,
+        },
+    },
+    "fault.crash": {
+        "required": {"targets": _STR},
+        "optional": {},
+    },
+    "fault.recover": {
+        "required": {"targets": _STR},
+        "optional": {},
+    },
+    "fault.partition": {
+        "required": {"groups": _STR},
+        "optional": {},
+    },
+    "fault.heal": {
+        "required": {},
+        "optional": {},
+    },
 }
 
 _SCALARS = (str, int, float, bool, type(None))
@@ -183,9 +224,10 @@ def validate_events(events: Iterable[dict[str, Any]]) -> list[str]:
 
 
 def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """Load a JSONL trace file into a list of event dicts."""
+    """Load a JSONL trace file (plain or ``.gz``) into a list of events."""
     events: list[dict[str, Any]] = []
-    with open(path, encoding="utf-8") as fh:
+    opener = gzip.open if Path(path).suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

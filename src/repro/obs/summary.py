@@ -95,6 +95,38 @@ def outcome_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
     return [[outcome, outcomes[outcome]] for outcome in sorted(outcomes)]
 
 
+def fault_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
+    """Injected-fault timeline: when, what, who (crash/partition story)."""
+    rows: list[list[object]] = []
+    for event in events:
+        etype = event.get("type", "")
+        if not etype.startswith("fault."):
+            continue
+        target = event.get("targets") or event.get("groups") or "-"
+        rows.append([f"{event.get('ts', 0.0):.1f}", etype[6:], target])
+    return rows
+
+
+def invariant_rows(events: Iterable[dict[str, Any]]) -> list[list[object]]:
+    """Safety-audit summary: checks run, violations by invariant."""
+    checks = 0
+    violations: Counter[str] = Counter()
+    for event in events:
+        etype = event.get("type")
+        if etype == "invariant.check":
+            checks += 1
+        elif etype == "invariant.violation":
+            violations[event.get("invariant", "?")] += 1
+    if checks == 0 and not violations:
+        return []
+    rows: list[list[object]] = [["checks recorded", checks]]
+    for invariant in sorted(violations):
+        rows.append([f"violations: {invariant}", violations[invariant]])
+    if not violations:
+        rows.append(["violations", 0])
+    return rows
+
+
 def run_meta(events: Iterable[dict[str, Any]]) -> dict[str, Any] | None:
     for event in events:
         if event.get("type") == "run.meta":
@@ -148,5 +180,19 @@ def format_trace_summary(events: list[dict[str, Any]], source: str = "") -> str:
     if outcomes:
         sections.append(
             format_table(["outcome", "count"], outcomes, title="request outcomes")
+        )
+    faults = fault_rows(events)
+    if faults:
+        sections.append(
+            format_table(
+                ["t (s)", "fault", "targets"], faults, title="injected faults"
+            )
+        )
+    invariants = invariant_rows(events)
+    if invariants:
+        sections.append(
+            format_table(
+                ["safety audit", "count"], invariants, title="invariant audits"
+            )
         )
     return "\n\n".join(sections)

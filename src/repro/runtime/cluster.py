@@ -50,6 +50,7 @@ class LiveCluster:
         config: ExperimentConfig,
         transport: str = "asyncio",
         latency_scale: float = DEFAULT_LATENCY_SCALE,
+        metrics_port: int | None = None,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; pick from {TRANSPORTS}")
@@ -57,8 +58,15 @@ class LiveCluster:
         # top-level run_experiment dispatch, but it is also what the
         # telemetry run.meta records, so pin it to what actually runs.
         self.config = replace(config, mode="live")
+        if metrics_port is not None:
+            # Serving /metrics needs the registry, which needs the bus.
+            self.config = replace(self.config, metrics=True)
         self.transport_kind = transport
         self.latency_scale = latency_scale
+        self.metrics_port = metrics_port
+        #: Port /metrics actually bound (resolves metrics_port=0) —
+        #: readable while the run is in flight.
+        self.bound_metrics_port: int | None = None
 
     def run(self) -> LiveReport:
         return asyncio.run(self._run())
@@ -83,10 +91,23 @@ class LiveCluster:
             )
         experiment = Experiment(config, kernel=clock, network=transport)
         await transport.start()
+        metrics_server = None
+        if self.metrics_port is not None:
+            from repro.obs.exposition import MetricsServer
+
+            assert experiment.registry is not None  # config.metrics forced it
+            metrics_server = MetricsServer(experiment.registry, self.metrics_port)
+            await metrics_server.start()
+            self.bound_metrics_port = metrics_server.port
+            print(
+                f"serving /metrics on http://127.0.0.1:{metrics_server.port}/metrics"
+            )
         stats = LiveRunStats(clock, transport)
         stats.install()
         experiment.start()
         await asyncio.sleep(config.duration)
+        if metrics_server is not None:
+            await metrics_server.stop()
         await transport.aclose()
         # A callback or handler exception (e.g. an invariant violation)
         # must fail the run, exactly as it would under the sim kernel.

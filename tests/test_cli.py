@@ -89,3 +89,79 @@ class TestTelemetryTrace:
         code = main(["trace", str(path), "--validate"])
         assert code == 1
         assert "schema error" in capsys.readouterr().err
+
+
+class TestActiveMonitoring:
+    def test_run_audit_clean_exits_zero(self, capsys):
+        code = main(["run", "--duration", "10", "--seed", "2", "--audit"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "online audit: clean" in out
+
+    def test_gzip_trace_audit_offline(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl.gz"
+        assert main(["run", "--duration", "10", "--seed", "2",
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["trace", str(path), "--audit"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "audit: clean" in out
+
+    def test_trace_audit_flags_corruption(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"ts": 0.0, "type": "run.meta", "schema": "repro-trace/1", '
+            '"substrate": "sim", "system": "samya-majority", "seed": 1, '
+            '"duration": 1.0, "maximum": 10, "predictor": "none", '
+            '"reallocator": "greedy"}\n'
+            '{"ts": 1.0, "type": "invariant.check", "settled": 4, '
+            '"outstanding": 4, "maximum": 10}\n'
+        )
+        code = main(["trace", str(path), "--audit"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "conservation" in captured.out
+
+
+class TestBenchGate:
+    def test_list_shows_registered_benches(self, capsys):
+        code = main(["bench", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig3b_throughput" in out
+        assert "table2b_latency" in out
+
+    def test_unknown_selection_exits_two(self, capsys):
+        code = main(["bench", "--list", "-k", "no-such-bench"])
+        assert code == 2
+        assert "no registered benchmark" in capsys.readouterr().err
+
+    def test_check_against_committed_baselines(self, tmp_path, capsys):
+        import json
+        import shutil
+
+        from repro.harness.regression import default_baseline_dir
+
+        source = default_baseline_dir() / "BENCH_fig3b_throughput.json"
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        shutil.copy2(source, artifacts / source.name)
+        code = main(["bench", "--check", "-k", "fig3b",
+                     "--artifacts", str(artifacts)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "regression gate: PASS" in out
+
+        # Perturb one headline number beyond tolerance: named failure.
+        data = json.loads(source.read_text())
+        data["headline"]["committed"]["MultiPaxSys"] = int(
+            data["headline"]["committed"]["MultiPaxSys"] * 2
+        )
+        (artifacts / source.name).write_text(json.dumps(data))
+        code = main(["bench", "--check", "-k", "fig3b",
+                     "--artifacts", str(artifacts)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "committed.MultiPaxSys" in out
+        assert "regression gate: FAIL" in out
