@@ -1,0 +1,86 @@
+"""Nemesis smoke benchmark — randomized adversarial schedule (§3.1).
+
+One fixed-seed nemesis run (crashes, partitions, one-way splits, link
+degradation, drops/duplication/delay) against every protocol variant,
+traced through the invariant auditor.  The regression gate pins the
+safety headline exactly: zero invariant violations and zero unanswered
+clients, for every system, under the same schedule.  Throughput numbers
+get the usual drift band.
+"""
+
+from repro.harness.nemesis import NEMESIS_SYSTEMS, run_nemesis
+from repro.harness.regression import Tolerance, register_baseline
+from repro.harness.report import format_table, write_bench_json
+
+SEED = 7
+DURATION = 120.0
+QUIET = 40.0
+
+
+def run_all():
+    return run_nemesis(SEED, duration=DURATION, quiet_period=QUIET)
+
+
+def test_nemesis_smoke(benchmark):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_all)
+    headers = ["system", "committed", "post-heal", "unanswered", "violations", "verdict"]
+    rows = [
+        [
+            system,
+            verdict.result.committed,
+            verdict.post_heal_committed,
+            verdict.result.unanswered,
+            len(verdict.result.audit_violations),
+            "pass" if verdict.passed else "FAIL",
+        ]
+        for system, verdict in report.verdicts.items()
+    ]
+    print(
+        format_table(
+            headers, rows,
+            title=f"Nemesis seed {SEED} — {len(report.schedule)} fault events",
+        )
+    )
+    # The acceptance bar: every system safe (no invariant violations) and
+    # live (every client answered, commits resume after the final heal).
+    assert report.passed, report.violations()
+    write_bench_json(
+        "nemesis",
+        {
+            "schedule_events": len(report.schedule),
+            "per_system": {
+                system: {
+                    "committed": verdict.result.committed,
+                    "post_heal_committed": verdict.post_heal_committed,
+                    "unanswered": verdict.result.unanswered,
+                    "violations": len(verdict.result.audit_violations),
+                }
+                for system, verdict in report.verdicts.items()
+            },
+        },
+        config={
+            "seed": SEED,
+            "duration": DURATION,
+            "quiet_period": QUIET,
+            "systems": list(NEMESIS_SYSTEMS),
+        },
+        seed=SEED,
+    )
+
+
+# Regression-gate contract: safety metrics are exact (a single violation
+# or unanswered client is a regression, not drift); throughput drifts.
+register_baseline(
+    "nemesis",
+    default=Tolerance(rel=0.10),
+    overrides={
+        **{
+            f"per_system.{system}.{metric}": Tolerance()
+            for system in NEMESIS_SYSTEMS
+            for metric in ("unanswered", "violations")
+        },
+        "schedule_events": Tolerance(),
+    },
+)

@@ -30,10 +30,11 @@ from repro.core.entity import Entity, EntityState
 from repro.core.messages import ForwardedRequest, SiteResponse
 from repro.core.requests import ClientResponse, RequestKind, RequestStatus
 from repro.metrics.invariants import ConservationChecker, InvariantViolation
-from repro.net.message import Message
+from repro.net.message import EnvelopeDedup, Message
 from repro.net.transport import Clock, Transport
 from repro.net.regions import Region, rtt
 from repro.sim.process import Actor
+from repro.storage.recovery import RecoveryWal
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,14 @@ class EscrowSite(Actor):
         self._next_borrow_allowed = 0.0
         self._borrow_timer = self.timer(self._on_borrow_timeout)
         self._busy_until = 0.0
+        # Envelope dedup: the fault layer (and a live transport after a
+        # reconnect) can deliver the same envelope twice; a duplicated
+        # BorrowGrant would mint tokens, so escrow needs this as much as
+        # Samya does.
+        self._envelopes = EnvelopeDedup()
+        #: Durable escrow balance, replayed on recovery.
+        self.wal = RecoveryWal(name)
+        self.initial_tokens = initial_tokens
         #: Compatibility hooks for the shared conservation checker.
         self.apply_listeners: list = []
         self.counters = {
@@ -110,6 +119,7 @@ class EscrowSite(Actor):
             "borrow_requests": 0,
         }
         network.attach(self, region)
+        self._persist()
 
     def connect(self, sites: list["EscrowSite"]) -> None:
         others = [site for site in sites if site.name != self.name]
@@ -124,6 +134,8 @@ class EscrowSite(Actor):
     def on_message(self, message: Message) -> None:
         if self.crashed:
             return
+        if self._envelopes.seen(message.msg_id):
+            return  # duplicate frame: a re-granted borrow would mint tokens
         start = max(self.now, self._busy_until)
         self._busy_until = start + self.config.service_time
         self.kernel.schedule(
@@ -147,6 +159,7 @@ class EscrowSite(Actor):
             self.state.release(request.amount)
             self.counters["granted_releases"] += 1
             self.counters["released_tokens"] += request.amount
+            self._persist()
             self._respond(fwd, RequestStatus.GRANTED)
             self._drain()
             return
@@ -165,6 +178,7 @@ class EscrowSite(Actor):
         self.state.acquire(amount)
         self.counters["granted_acquires"] += 1
         self.counters["acquired_tokens"] += amount
+        self._persist()
         self._respond(fwd, RequestStatus.GRANTED)
 
     def _respond(self, fwd: ForwardedRequest, status: RequestStatus, value: int | None = None) -> None:
@@ -260,12 +274,14 @@ class EscrowSite(Actor):
             # message loses the tokens.
             self.state.acquire(grant)
             self.counters["tokens_lent"] += grant
+            self._persist()
         self.network.send(self.name, src, BorrowGrant(msg.entity_id, grant, msg.borrow_id))
 
     def _on_borrow_grant(self, msg: BorrowGrant) -> None:
         if msg.amount > 0:
             self.state.release(msg.amount)
             self.counters["tokens_borrowed"] += msg.amount
+            self._persist()
             self._campaign_granted += msg.amount
         if not self._borrowing or msg.borrow_id != self._borrow_id:
             self._drain()
@@ -290,11 +306,30 @@ class EscrowSite(Actor):
     # -- crash handling (the paper excludes this baseline from failure
     #    experiments; crash support exists so tests can show why) -------------
 
+    def _persist(self) -> None:
+        self.wal.append(
+            "escrow", (self.state.tokens_left, self.counters["tokens_lent"],
+                       self.counters["tokens_borrowed"])
+        )
+
     def crash(self) -> None:
         super().crash()
         self._pending.clear()
         self._borrow_timer.cancel()
         self._borrowing = False
+
+    def recover(self) -> None:
+        super().recover()
+        self._busy_until = self.now
+        stored = self.wal.replay().get("escrow")
+        if stored is not None:
+            tokens_left, lent, borrowed = stored
+        else:
+            tokens_left, lent, borrowed = self.initial_tokens, 0, 0
+        self.state.tokens_left = tokens_left
+        self.counters["tokens_lent"] = lent
+        self.counters["tokens_borrowed"] = borrowed
+        self._next_borrow_allowed = self.now + self.config.borrow_cooldown
 
 
 class EscrowConservationChecker(ConservationChecker):

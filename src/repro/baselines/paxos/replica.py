@@ -30,7 +30,7 @@ from repro.baselines.paxos.messages import (
 from repro.baselines.statemachine import TokenCommand, TokenStateMachine
 from repro.core.messages import ForwardedRequest, SiteResponse
 from repro.core.requests import ClientResponse, RequestKind, RequestStatus
-from repro.net.message import Message
+from repro.net.message import EnvelopeDedup, Message
 from repro.net.transport import Clock, Transport
 from repro.net.regions import Region
 from repro.sim.process import Actor
@@ -79,6 +79,9 @@ class PaxosReplica(Actor):
         self._pending: deque[ForwardedRequest] = deque()
         self._inflight: tuple[LogEntry, set[str], ForwardedRequest | None] | None = None
         self._promises: dict[str, Promise] = {}
+        # Envelope dedup: a duplicated ForwardedRequest at the leader
+        # would be proposed (and committed) twice; drop repeats here.
+        self._envelopes = EnvelopeDedup()
         self._busy_until = 0.0
         self._election_timer = self.timer(self._on_election_timeout)
         self._retransmit_timer = self.timer(self._on_retransmit)
@@ -108,6 +111,8 @@ class PaxosReplica(Actor):
 
     def on_message(self, message: Message) -> None:
         if self.crashed:
+            return
+        if self._envelopes.seen(message.msg_id):
             return
         start = max(self.now, self._busy_until)
         self._busy_until = start + self.config.service_time

@@ -10,6 +10,7 @@ Examples::
     python -m repro trace --days 7
     python -m repro run --trace t.jsonl --duration 60
     python -m repro trace t.jsonl --validate
+    python -m repro nemesis --seed 7 --audit
 
 Every command prints the same tables the benchmark harness does.
 ``trace`` is dual-purpose: with no file it inspects the synthetic
@@ -253,6 +254,73 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_nemesis(args: argparse.Namespace) -> int:
+    from repro.faults import Nemesis, NemesisConfig
+    from repro.harness.nemesis import NEMESIS_SYSTEMS, run_nemesis
+    from repro.net.regions import PAPER_REGIONS
+
+    systems = tuple(
+        name.strip() for name in args.systems.split(",") if name.strip()
+    )
+    unknown = [name for name in systems if name not in NEMESIS_SYSTEMS]
+    if unknown:
+        print(
+            f"unknown systems: {unknown}; pick from {NEMESIS_SYSTEMS}",
+            file=sys.stderr,
+        )
+        return 2
+    nemesis = Nemesis(
+        args.seed,
+        tuple(PAPER_REGIONS),
+        NemesisConfig(duration=args.duration, quiet_period=args.quiet),
+    )
+    print(f"nemesis schedule (seed {args.seed}):")
+    for row in nemesis.describe():
+        print(f"  {row}")
+    print()
+    report = run_nemesis(
+        args.seed,
+        systems=systems,
+        duration=args.duration,
+        quiet_period=args.quiet,
+        audit=args.audit,
+        wal_enabled=not args.disable_wal,
+        trace_dir=args.trace_dir,
+    )
+    rows = []
+    for system, verdict in report.verdicts.items():
+        result = verdict.result
+        rows.append(
+            [
+                system,
+                result.committed,
+                result.failed,
+                result.unanswered,
+                f"{verdict.post_heal_committed:.0f}",
+                len(result.audit_violations),
+                "pass" if verdict.passed else "FAIL",
+            ]
+        )
+    print(
+        format_table(
+            ["system", "committed", "failed", "unanswered",
+             "post-heal", "violations", "verdict"],
+            rows,
+            title=(
+                f"nemesis — seed {args.seed}, {args.duration:.0f}s, "
+                f"final heal t={report.final_heal:.1f}s"
+            ),
+        )
+    )
+    for line in report.violations():
+        print(f"AUDIT {line}", file=sys.stderr)
+    if not report.passed:
+        print("nemesis: FAILED", file=sys.stderr)
+        return 1
+    print("\nnemesis: all systems safe and live")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import subprocess
@@ -427,6 +495,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--days", type=float, default=7.0)
     trace_parser.add_argument("--seed", type=int, default=7)
     trace_parser.set_defaults(func=cmd_trace)
+
+    nemesis_parser = sub.add_parser(
+        "nemesis",
+        help="run one seeded randomized fault schedule against every "
+             "protocol variant, auditing safety and liveness (Jepsen-lite)",
+    )
+    nemesis_parser.add_argument("--seed", type=int, default=7)
+    nemesis_parser.add_argument(
+        "--duration", type=float, default=120.0,
+        help="simulated seconds per system (default 120)",
+    )
+    nemesis_parser.add_argument(
+        "--quiet", type=float, default=40.0,
+        help="fault-free tail before the run ends (default 40)",
+    )
+    nemesis_parser.add_argument(
+        "--systems", default=",".join(("samya-majority", "multipaxsys", "demarcation")),
+        help="comma-separated subset of the nemesis systems",
+    )
+    nemesis_parser.add_argument(
+        "--audit", action="store_true",
+        help="run the online invariant auditor (recommended; the verdict "
+             "column reflects it)",
+    )
+    nemesis_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one JSONL telemetry trace per system into DIR",
+    )
+    nemesis_parser.add_argument(
+        "--disable-wal", action="store_true",
+        help="disable the recovery write-ahead log (crashed sites recover "
+             "stale state; the auditor should catch the conservation break)",
+    )
+    nemesis_parser.set_defaults(func=cmd_nemesis)
 
     bench_parser = sub.add_parser(
         "bench",

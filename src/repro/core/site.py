@@ -33,12 +33,12 @@ from repro.core.messages import (
 )
 from repro.core.reallocation import Reallocator, redistribute_tokens
 from repro.core.requests import ClientResponse, RequestKind, RequestStatus
-from repro.net.message import Message
+from repro.net.message import EnvelopeDedup, Message
 from repro.net.regions import Region
 from repro.net.transport import Clock, Transport
 from repro.prediction.base import DemandHistory, Predictor
 from repro.sim.process import Actor
-from repro.storage.store import StableStore
+from repro.storage.recovery import RecoveryWal
 
 _read_ids = itertools.count(1)
 
@@ -64,9 +64,12 @@ class SamyaSite(Actor):
         self.entity = entity
         self.config = config or SamyaConfig()
         self.state = EntityState(entity.id, initial_tokens)
+        self.initial_tokens = initial_tokens
         self.predictor = predictor
         self.reallocator = reallocator
-        self.store = StableStore(name)
+        #: Durable state is an append-only log replayed on recovery, so
+        #: what a recovered site believes is exactly what reached disk.
+        self.wal = RecoveryWal(name)
         self.history = DemandHistory()
         self.protocol: AvantanMajority | AvantanStar | None = None
         self.peers: list[str] = []
@@ -80,10 +83,9 @@ class SamyaSite(Actor):
         self._response_cache: dict[int, ClientResponse] = {}
         self._response_order: deque[int] = deque()
         # Envelope dedup: a live transport may retransmit an unconfirmed
-        # frame after a reconnect, so the same msg_id can arrive twice.
-        # Sim transports mint a fresh envelope per send and never hit this.
-        self._seen_msg_ids: set[int] = set()
-        self._seen_msg_order: deque[int] = deque()
+        # frame after a reconnect, and the fault layer deliberately
+        # re-delivers envelopes, so the same msg_id can arrive twice.
+        self._envelopes = EnvelopeDedup(self._MSG_DEDUP_LIMIT)
         self._busy_until = 0.0
         self._draining = False
         self._last_proactive_check = -math.inf
@@ -145,12 +147,8 @@ class SamyaSite(Actor):
         """
         if self.crashed:
             return
-        if message.msg_id in self._seen_msg_ids:
+        if self._envelopes.seen(message.msg_id):
             return  # duplicate frame: already queued/processed once
-        self._seen_msg_ids.add(message.msg_id)
-        self._seen_msg_order.append(message.msg_id)
-        if len(self._seen_msg_order) > self._MSG_DEDUP_LIMIT:
-            self._seen_msg_ids.discard(self._seen_msg_order.popleft())
         cost = (
             self.config.service_time
             if isinstance(message.payload, ForwardedRequest)
@@ -496,7 +494,7 @@ class SamyaSite(Actor):
         return self.rng()
 
     def persist_protocol(self, state: AvantanState) -> None:
-        self.store.put("avantan", state)
+        self.wal.append("avantan", state)
 
     # -- read transactions (§5.8) --------------------------------------------
 
@@ -552,7 +550,7 @@ class SamyaSite(Actor):
     # -- durability -------------------------------------------------------------
 
     def _persist_entity(self) -> None:
-        self.store.put(
+        self.wal.append(
             "entity", (self.state.tokens_left, self.state.tokens_wanted)
         )
 
@@ -570,12 +568,19 @@ class SamyaSite(Actor):
     def recover(self) -> None:
         super().recover()
         self._busy_until = self.now
-        stored = self.store.get("entity")
+        # Reconstruct from the replayed log (§3.1: "reconstructs its
+        # previous state ... stored on stable storage").  A log with no
+        # entity record means the disk never saw this site's state —
+        # fall back to the initial allocation, the only durable fact.
+        replayed = self.wal.replay()
+        stored = replayed.get("entity")
         if stored is not None:
             tokens_left, tokens_wanted = stored
-            self.state.tokens_left = tokens_left
-            self.state.tokens_wanted = tokens_wanted
-        proto_state = self.store.get("avantan")
+        else:
+            tokens_left, tokens_wanted = self.initial_tokens, 0
+        self.state.tokens_left = tokens_left
+        self.state.tokens_wanted = tokens_wanted
+        proto_state = replayed.get("avantan")
         if self.protocol is not None and proto_state is not None:
             self.protocol.on_recover(proto_state)
         self._schedule_epoch()

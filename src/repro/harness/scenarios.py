@@ -18,8 +18,11 @@ from repro.net.regions import Region
 class RegionFault:
     """One region-level fault action.
 
-    ``action``: ``"crash"`` / ``"recover"`` (uses ``regions``) or
-    ``"partition"`` / ``"heal"`` (uses ``groups``).
+    ``action``: ``"crash"`` / ``"recover"`` / ``"degrade"`` /
+    ``"restore"`` (use ``regions``) or ``"partition"`` /
+    ``"partition-oneway"`` / ``"heal"`` (use ``groups``).  The
+    ``drop``/``duplicate``/``delay``/``jitter`` fields parameterize
+    ``degrade`` (see :class:`repro.net.faults.FaultEvent`).
     """
 
     time: float
@@ -27,6 +30,10 @@ class RegionFault:
     regions: tuple[Region, ...] = ()
     groups: tuple[tuple[Region, ...], ...] = ()
     include_clients: bool = True
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    jitter: float = 0.0
 
 
 def progressive_region_crashes(
@@ -76,25 +83,48 @@ def resolve_faults(
             names.extend(clients_by_region.get(region, []))
         return names
 
+    def group_names(groups: tuple[tuple[Region, ...], ...]) -> tuple[tuple[str, ...], ...]:
+        return tuple(
+            tuple(
+                name
+                for region in group
+                for name in names_for(region, include_clients=True)
+            )
+            for group in groups
+        )
+
     for fault in sorted(faults, key=lambda f: f.time):
-        if fault.action in ("crash", "recover"):
+        if fault.action in ("crash", "recover", "degrade", "restore"):
             targets: list[str] = []
             for region in fault.regions:
                 targets.extend(names_for(region, fault.include_clients))
+            if not targets:
+                # A region with no actors in this deployment (e.g. a
+                # MultiPaxSys placement without replicas there): nothing
+                # to fault, and an empty targeted FaultEvent is invalid.
+                continue
             if fault.action == "crash":
                 schedule.crash(fault.time, *targets)
-            else:
+            elif fault.action == "recover":
                 schedule.recover(fault.time, *targets)
-        elif fault.action == "partition":
-            groups = tuple(
-                tuple(
-                    name
-                    for region in group
-                    for name in names_for(region, include_clients=True)
+            elif fault.action == "degrade":
+                schedule.degrade(
+                    fault.time,
+                    *targets,
+                    drop=fault.drop,
+                    duplicate=fault.duplicate,
+                    delay=fault.delay,
+                    jitter=fault.jitter,
                 )
-                for group in fault.groups
-            )
-            schedule.partition(fault.time, *groups)
+            else:
+                schedule.restore(fault.time, *targets)
+        elif fault.action == "partition":
+            schedule.partition(fault.time, *group_names(fault.groups))
+        elif fault.action == "partition-oneway":
+            src_group, dst_group = group_names(fault.groups)
+            if not src_group or not dst_group:
+                continue
+            schedule.partition_oneway(fault.time, src_group, dst_group)
         elif fault.action == "heal":
             schedule.heal(fault.time)
         else:

@@ -1,9 +1,22 @@
-"""Fault injection: scheduled crashes, recoveries, and partitions.
+"""Fault injection: scheduled crashes, partitions, and link degradation.
 
 Scenarios are declarative lists of :class:`FaultEvent` applied by a
 :class:`CrashController` at their scheduled simulated times.  The failure
 experiments of §5.4 are expressed as such schedules (see
 ``repro.harness.scenarios``).
+
+Beyond the paper's clean crash/partition model, the DSL covers the
+message-level and asymmetric faults that dominate real WAN misbehaviour:
+
+* ``degrade`` — probabilistic drops, duplicate delivery, and delay
+  spikes/jitter on every link touching the named actors;
+* ``restore`` — clear a degradation;
+* ``partition-oneway`` — block traffic from one group to another while
+  the reverse direction keeps flowing.
+
+These three require a fault-capable transport (a
+:class:`repro.faults.FaultyTransport` wrapping the real one); applying
+them to a bare transport is a configuration error and raises.
 """
 
 from __future__ import annotations
@@ -13,25 +26,67 @@ from dataclasses import dataclass, field
 from repro.net.transport import Clock, Transport
 from repro.sim.process import Actor
 
+_ACTIONS = (
+    "crash",
+    "recover",
+    "partition",
+    "heal",
+    "degrade",
+    "restore",
+    "partition-oneway",
+)
+
+#: Actions that name concrete actors in ``targets``.
+_TARGETED = ("crash", "recover", "degrade", "restore")
+
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault action.
 
     ``action`` is one of ``"crash"``, ``"recover"``, ``"partition"``,
-    ``"heal"``.  ``targets`` names the actors to crash/recover, or for a
-    partition, ``groups`` gives the connectivity groups.
+    ``"heal"``, ``"degrade"``, ``"restore"``, ``"partition-oneway"``.
+    ``targets`` names the actors to crash/recover/degrade/restore; for a
+    partition, ``groups`` gives the connectivity groups (exactly two for
+    the one-way form: traffic ``groups[0] -> groups[1]`` is blocked).
+    ``drop``/``duplicate``/``delay``/``jitter`` parameterize ``degrade``.
     """
 
     time: float
     action: str
     targets: tuple[str, ...] = ()
     groups: tuple[tuple[str, ...], ...] = ()
+    #: Link-degradation parameters (``degrade`` only): per-message drop
+    #: and duplicate probabilities, plus a fixed delay spike and uniform
+    #: extra jitter in seconds.
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
-        valid = {"crash", "recover", "partition", "heal"}
-        if self.action not in valid:
+        if self.action not in _ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
+        if self.action in _TARGETED and not self.targets:
+            raise ValueError(f"{self.action} fault names no targets: {self!r}")
+        if self.action in ("partition", "partition-oneway"):
+            seen: set[str] = set()
+            for group in self.groups:
+                for name in group:
+                    if name in seen:
+                        raise ValueError(
+                            f"endpoint {name!r} appears in two groups: {self!r}"
+                        )
+                    seen.add(name)
+        if self.action == "partition-oneway":
+            if len(self.groups) != 2 or not all(self.groups):
+                raise ValueError(
+                    f"one-way partition needs exactly two non-empty groups: {self!r}"
+                )
+        if not 0.0 <= self.drop <= 1.0 or not 0.0 <= self.duplicate <= 1.0:
+            raise ValueError(f"drop/duplicate must be probabilities: {self!r}")
+        if self.delay < 0.0 or self.jitter < 0.0:
+            raise ValueError(f"delay/jitter must be non-negative: {self!r}")
 
 
 @dataclass
@@ -56,6 +111,42 @@ class FaultSchedule:
 
     def heal(self, time: float) -> "FaultSchedule":
         self.events.append(FaultEvent(time, "heal"))
+        return self
+
+    def degrade(
+        self,
+        time: float,
+        *targets: str,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+    ) -> "FaultSchedule":
+        self.events.append(
+            FaultEvent(
+                time,
+                "degrade",
+                tuple(targets),
+                drop=drop,
+                duplicate=duplicate,
+                delay=delay,
+                jitter=jitter,
+            )
+        )
+        return self
+
+    def restore(self, time: float, *targets: str) -> "FaultSchedule":
+        self.events.append(FaultEvent(time, "restore", tuple(targets)))
+        return self
+
+    def partition_oneway(
+        self, time: float, src_group: tuple[str, ...], dst_group: tuple[str, ...]
+    ) -> "FaultSchedule":
+        self.events.append(
+            FaultEvent(
+                time, "partition-oneway", groups=(tuple(src_group), tuple(dst_group))
+            )
+        )
         return self
 
 
@@ -95,6 +186,46 @@ class CrashController:
             self.network.partitions.partition(event.groups)
         elif event.action == "heal":
             self.network.partitions.heal()
+            # A heal restores *full* connectivity: one-way rules go too,
+            # when the transport has them.
+            heal_oneway = getattr(self.network, "heal_oneway", None)
+            if heal_oneway is not None:
+                heal_oneway()
+        elif event.action == "degrade":
+            self._emit_fault(
+                "fault.degrade",
+                targets=",".join(event.targets),
+                drop=event.drop,
+                duplicate=event.duplicate,
+                delay=event.delay,
+                jitter=event.jitter,
+            )
+            self._fault_surface("degrade")(
+                event.targets,
+                drop=event.drop,
+                duplicate=event.duplicate,
+                delay=event.delay,
+                jitter=event.jitter,
+            )
+        elif event.action == "restore":
+            self._emit_fault("fault.restore", targets=",".join(event.targets))
+            self._fault_surface("restore")(event.targets)
+        elif event.action == "partition-oneway":
+            self._emit_fault(
+                "fault.partition_oneway",
+                groups="|".join(",".join(group) for group in event.groups),
+            )
+            self._fault_surface("isolate_oneway")(event.groups[0], event.groups[1])
+
+    def _fault_surface(self, method: str):
+        surface = getattr(self.network, method, None)
+        if surface is None:
+            raise TypeError(
+                f"transport {type(self.network).__name__} cannot {method}; "
+                "wrap it in repro.faults.FaultyTransport to inject "
+                "message-level faults"
+            )
+        return surface
 
     def _emit_fault(self, etype: str, **fields) -> None:
         obs = getattr(self.kernel, "obs", None)

@@ -14,6 +14,7 @@ duplicates — the dedup path only fires over real, lossy channels.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -46,3 +47,35 @@ class Message:
     def kind(self) -> str:
         """Short payload type name, handy for dispatch and tracing."""
         return type(self.payload).__name__
+
+
+class EnvelopeDedup:
+    """Sliding-window ``msg_id`` dedup for at-least-once delivery.
+
+    A live transport may retransmit an unconfirmed frame after a
+    reconnect, and the fault layer deliberately re-delivers envelopes;
+    either way the same ``msg_id`` arrives twice and the second copy
+    must not execute.  The window is bounded so a long run cannot grow
+    the seen-set without limit; ``limit`` only needs to exceed the
+    number of envelopes that can plausibly be in flight to one receiver.
+    """
+
+    __slots__ = ("_seen", "_order", "limit")
+
+    def __init__(self, limit: int = 8192) -> None:
+        self.limit = limit
+        self._seen: set[int] = set()
+        self._order: deque[int] = deque()
+
+    def seen(self, msg_id: int) -> bool:
+        """Record ``msg_id``; True if it was already in the window."""
+        if msg_id in self._seen:
+            return True
+        self._seen.add(msg_id)
+        self._order.append(msg_id)
+        if len(self._order) > self.limit:
+            self._seen.discard(self._order.popleft())
+        return False
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -220,6 +220,10 @@ def trace_id_of(payload: Any) -> str | None:
     term = getattr(payload, "term", None)
     if term is not None:
         return f"term-{term}"
+    borrow_id = getattr(payload, "borrow_id", None)
+    if borrow_id is not None:
+        # Demarcation borrow campaigns (BorrowRequest/BorrowGrant).
+        return f"borrow-{borrow_id}"
     return None
 
 

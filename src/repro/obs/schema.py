@@ -37,9 +37,12 @@ The taxonomy, by layer:
   ``invariant.violation`` is a checker reporting a broken safety
   property *in the trace* instead of raising mid-run (see
   :mod:`repro.obs.audit`).
-* ``fault.*`` — injected faults (crash, recover, partition, heal), so
-  violations and latency spikes can be correlated with the fault that
-  caused them.
+* ``fault.*`` — injected faults (crash, recover, partition, heal, plus
+  the message-level ``degrade``/``restore`` and asymmetric
+  ``partition_oneway`` of the adversarial layer) and transport
+  self-protection (``fault.circuit``: a live writer opening/closing a
+  per-peer circuit breaker), so violations and latency spikes can be
+  correlated with the fault that caused them.
 
 Bump :data:`SCHEMA` when a field changes meaning; adding a new event
 type or optional field is backwards compatible.
@@ -175,6 +178,22 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
     "fault.heal": {
         "required": {},
         "optional": {},
+    },
+    "fault.degrade": {
+        "required": {"targets": _STR},
+        "optional": {"drop": _NUM, "duplicate": _NUM, "delay": _NUM, "jitter": _NUM},
+    },
+    "fault.restore": {
+        "required": {"targets": _STR},
+        "optional": {},
+    },
+    "fault.partition_oneway": {
+        "required": {"groups": _STR},
+        "optional": {},
+    },
+    "fault.circuit": {
+        "required": {"peer": _STR, "state": _STR},
+        "optional": {"failures": _INT},
     },
 }
 

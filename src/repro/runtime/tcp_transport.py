@@ -34,7 +34,29 @@ from repro.runtime.clock import LiveClock
 #: giving the frame up as undeliverable (startup races only).
 _ADDRESS_WAIT = 5.0
 _RECONNECT_BACKOFF = 0.05
+#: Backoff is exponential (base * 2^attempt) capped here, with +-50%
+#: jitter so N writers retrying a dead peer do not reconnect in phase.
+_BACKOFF_CAP = 1.0
 _MAX_SEND_ATTEMPTS = 5
+#: A write+drain slower than this counts as a failed attempt.
+_SEND_TIMEOUT = 2.0
+#: Consecutive undeliverable frames to one peer before the circuit
+#: opens; while open, frames to that peer fail fast instead of holding
+#: the writer (and every queued frame behind it) through full retries.
+_CIRCUIT_THRESHOLD = 3
+#: How long an open circuit waits before probing with one frame.
+_CIRCUIT_COOLDOWN = 1.0
+
+
+class _PeerCircuit:
+    """Per-destination circuit-breaker state for the write loop."""
+
+    __slots__ = ("state", "failures", "opened_at")
+
+    def __init__(self) -> None:
+        self.state = "closed"  # closed | open | half-open
+        self.failures = 0
+        self.opened_at = 0.0
 
 
 class TcpTransport:
@@ -63,6 +85,15 @@ class TcpTransport:
         self._out_queues: dict[str, asyncio.Queue] = {}
         self._writers: dict[str, asyncio.Task] = {}
         self._reader_tasks: set[asyncio.Task] = set()
+        self._circuits: dict[str, _PeerCircuit] = {}
+        #: Tunables, instance-level so tests can tighten them.
+        self.address_wait = _ADDRESS_WAIT
+        self.max_send_attempts = _MAX_SEND_ATTEMPTS
+        self.backoff_base = _RECONNECT_BACKOFF
+        self.backoff_cap = _BACKOFF_CAP
+        self.send_timeout = _SEND_TIMEOUT
+        self.circuit_threshold = _CIRCUIT_THRESHOLD
+        self.circuit_cooldown = _CIRCUIT_COOLDOWN
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
@@ -71,6 +102,8 @@ class TcpTransport:
         self.delivered_by_type: Counter[str] = Counter()
         #: Frames rewritten after a reconnect (possible duplicates).
         self.frames_resent = 0
+        #: Write+drain attempts that exceeded ``send_timeout``.
+        self.send_timeouts = 0
         self.trace: Callable[[Message], None] | None = None
         #: Telemetry bus; installed by the launcher when tracing is on.
         self.obs: EventBus | None = None
@@ -138,9 +171,9 @@ class TcpTransport:
         frame = codec.encode_frame(message)
         delay = self.delay_model.sample(self._regions[src], self._regions[dst], self._rng)
         if delay <= 0:
-            self._enqueue_frame(dst, frame)
+            self._enqueue_frame(dst, message, frame)
         else:
-            self.clock.schedule(delay, self._enqueue_frame, dst, frame)
+            self.clock.schedule(delay, self._enqueue_frame, dst, message, frame)
 
     def broadcast(self, src: str, dsts: list[str], payload: Any) -> None:
         for dst in dsts:
@@ -149,7 +182,7 @@ class TcpTransport:
     def latency(self, a: str, b: str) -> float:
         return self.delay_model.sample(self._regions[a], self._regions[b], random.Random(0))
 
-    def _enqueue_frame(self, dst: str, frame: bytes) -> None:
+    def _enqueue_frame(self, dst: str, message: Message, frame: bytes) -> None:
         queue = self._out_queues.get(dst)
         if queue is None:
             queue = asyncio.Queue()
@@ -158,43 +191,85 @@ class TcpTransport:
             self._writers[dst] = loop.create_task(
                 self._write_loop(dst, queue), name=f"tcp-writer:{dst}"
             )
-        queue.put_nowait(frame)
+        queue.put_nowait((message, frame))
 
     async def _write_loop(self, dst: str, queue: asyncio.Queue) -> None:
         """Drain ``queue`` into one connection to ``dst``, reconnecting
-        (and resending the unconfirmed frame) on failure."""
+        (and resending the unconfirmed frame) on failure.
+
+        Every undeliverable frame is *accounted*: a ``msg.drop`` trace
+        event plus the dropped counter, so the auditor's
+        sends-vs-deliveries invariant balances even when a peer is
+        unreachable.  A per-peer circuit breaker fails fast once a peer
+        looks dead and probes it again after a cooldown, surfacing each
+        transition as a ``fault.circuit`` trace event.
+        """
         writer: asyncio.StreamWriter | None = None
+        circuit = self._circuits.setdefault(dst, _PeerCircuit())
         try:
             while True:
-                frame = await queue.get()
-                for attempt in range(_MAX_SEND_ATTEMPTS):
+                message, frame = await queue.get()
+                if circuit.state == "open":
+                    if self.clock.now - circuit.opened_at < self.circuit_cooldown:
+                        self._drop(message, "circuit-open")
+                        continue
+                    self._set_circuit(dst, circuit, "half-open")
+                attempts = 1 if circuit.state == "half-open" else self.max_send_attempts
+                reason = None
+                for attempt in range(attempts):
                     try:
                         if writer is None:
                             writer = await self._connect(dst)
                             if writer is None:
-                                self.messages_dropped += 1
+                                reason = "connect-failed"
                                 break
                         writer.write(frame)
-                        await writer.drain()
+                        await asyncio.wait_for(writer.drain(), self.send_timeout)
+                        reason = None
                         break
-                    except (ConnectionError, OSError):
+                    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                        if isinstance(exc, asyncio.TimeoutError):
+                            self.send_timeouts += 1
+                        reason = "retry-exhausted"
                         if writer is not None:
                             writer.close()
                             writer = None
                         self.frames_resent += 1
-                        await asyncio.sleep(_RECONNECT_BACKOFF * (attempt + 1))
-                else:
-                    self.messages_dropped += 1
+                        await asyncio.sleep(self._backoff(attempt))
+                if reason is None:
+                    if circuit.state != "closed":
+                        self._set_circuit(dst, circuit, "closed")
+                    circuit.failures = 0
+                    continue
+                self._drop(message, reason)
+                circuit.failures += 1
+                if circuit.state == "half-open" or (
+                    circuit.state == "closed"
+                    and circuit.failures >= self.circuit_threshold
+                ):
+                    circuit.opened_at = self.clock.now
+                    self._set_circuit(dst, circuit, "open")
         finally:
             if writer is not None:
                 writer.close()
 
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return base * (0.5 + self._rng.random())
+
+    def _set_circuit(self, dst: str, circuit: _PeerCircuit, state: str) -> None:
+        circuit.state = state
+        obs = self.obs
+        if obs is not None:
+            obs.emit("fault.circuit", peer=dst, state=state, failures=circuit.failures)
+
     async def _connect(self, dst: str) -> asyncio.StreamWriter | None:
-        deadline = self.clock.now + _ADDRESS_WAIT
+        waited = 0.0
         while dst not in self._addresses:
-            if self.clock.now >= deadline or dst not in self._endpoints:
+            if waited >= self.address_wait or dst not in self._endpoints:
                 return None
             await asyncio.sleep(0.01)
+            waited += 0.01
         host, port = self._addresses[dst]
         _reader, writer = await asyncio.open_connection(host, port)
         return writer

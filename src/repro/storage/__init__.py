@@ -6,7 +6,8 @@ substrate: a per-actor key-value store that survives crashes, plus an
 append-only write-ahead log used by the Paxos/Raft baselines.
 """
 
+from repro.storage.recovery import RecoveryWal
 from repro.storage.store import StableStore
 from repro.storage.wal import WriteAheadLog
 
-__all__ = ["StableStore", "WriteAheadLog"]
+__all__ = ["RecoveryWal", "StableStore", "WriteAheadLog"]

@@ -1,0 +1,71 @@
+"""Recovery write-ahead log: durable keyed records for crash recovery.
+
+:class:`~repro.storage.store.StableStore` models an overwrite-in-place
+key-value disk; :class:`RecoveryWal` models what real sites use instead —
+an append-only log that is *replayed* on recovery.  The distinction
+matters for fault injection: a site recovers from **what reached the
+log**, not from whatever its in-memory snapshot happens to say, so a
+recovery path that skips a persist is observably broken (the nemesis
+harness disables the log mid-run and the conservation auditor catches
+the resulting stale restore — see ``tests/test_nemesis.py``).
+
+Records are deep-copied on append and on replay, like serialization to
+and from disk.  ``compact()`` keeps only the newest record per key, the
+bound a real implementation gets from checkpointing.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.storage.store import DEFAULT_WRITE_LATENCY
+
+
+class RecoveryWal:
+    """Append-only keyed record log for one actor's durable state."""
+
+    def __init__(self, name: str, write_latency: float = DEFAULT_WRITE_LATENCY) -> None:
+        self.name = name
+        self.write_latency = write_latency
+        #: When False, appends are silently discarded — the "broken
+        #: recovery path" knob the nemesis harness uses to prove the
+        #: auditor notices a site restoring stale state.
+        self.enabled = True
+        self._records: list[tuple[str, Any]] = []
+        self.appends = 0
+        self.dropped_appends = 0
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, key: str, value: Any) -> None:
+        """Durably append one record (deep-copied, like a serialized write)."""
+        if not self.enabled:
+            self.dropped_appends += 1
+            return
+        self.appends += 1
+        self._records.append((key, copy.deepcopy(value)))
+
+    def replay(self) -> dict[str, Any]:
+        """Fold the log into its latest value per key (deep-copied back)."""
+        self.replays += 1
+        state: dict[str, Any] = {}
+        for key, value in self._records:
+            state[key] = value
+        return {key: copy.deepcopy(value) for key, value in state.items()}
+
+    def compact(self) -> int:
+        """Drop superseded records; returns how many were removed."""
+        latest: dict[str, int] = {}
+        for index, (key, _value) in enumerate(self._records):
+            latest[key] = index
+        keep = sorted(latest.values())
+        removed = len(self._records) - len(keep)
+        self._records = [self._records[index] for index in keep]
+        return removed
+
+    def wipe(self) -> None:
+        """Destroy the log — models losing the disk, NOT a crash."""
+        self._records.clear()

@@ -111,6 +111,80 @@ def test_random_protocol_messages_never_break_a_site(variant, sequence, seed):
     assert site.state.tokens_left >= 0
 
 
+_ESCROW_RUN: list = []
+
+
+def _escrow_recorded_run():
+    """One finished Demarcation run with heavy borrowing, recording every
+    envelope the exhausted site received (borrow grants included)."""
+    if not _ESCROW_RUN:
+        from repro.baselines.demarcation import (
+            DemarcationCluster,
+            EscrowConservationChecker,
+        )
+        from repro.core.entity import Entity
+        from repro.metrics.hub import MetricsHub
+        from repro.net.network import Network
+        from repro.net.regions import PAPER_REGIONS
+        from repro.sim.kernel import Kernel
+
+        from tests.helpers import acquire_burst
+
+        kernel = Kernel(seed=5)
+        cluster = DemarcationCluster(
+            kernel, Network(kernel), Entity("VM", 300), list(PAPER_REGIONS[:3])
+        )
+        checker = EscrowConservationChecker(300)
+        checker._sites = cluster.sites
+        site = cluster.sites[0]
+        delivered = []
+        original = site.on_message
+
+        def recording(message, _original=original, _log=delivered):
+            _log.append(message)
+            _original(message)
+
+        site.on_message = recording
+        cluster.add_client(
+            PAPER_REGIONS[0], acquire_burst(1.0, 150), metrics=MetricsHub()
+        )
+        cluster.start()
+        # Run far past the workload so the system is fully quiescent:
+        # the post-replay drain below must fire only replay-induced work.
+        kernel.run(until=100.0)
+        del site.on_message  # stop recording; replays go in directly
+        assert site.counters["tokens_borrowed"] > 0
+        assert delivered
+        _ESCROW_RUN.append((kernel, cluster, checker, site, delivered))
+    return _ESCROW_RUN[0]
+
+
+def _escrow_fingerprint(cluster):
+    return repr(
+        [
+            (site.state, dict(site.counters), site._next_borrow_allowed)
+            for site in cluster.sites
+        ]
+    )
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(fraction=st.floats(0.0, 1.0))
+def test_escrow_prefix_replay_twice_is_byte_identical(fraction):
+    """Replaying any prefix of a run's envelopes twice must not move a
+    single escrow token: a re-delivered BorrowGrant minting tokens is
+    exactly the bug ``msg_id`` dedup exists to stop."""
+    kernel, cluster, checker, site, delivered = _escrow_recorded_run()
+    before = _escrow_fingerprint(cluster)
+    prefix = delivered[: int(len(delivered) * fraction)]
+    for _ in range(2):
+        for message in prefix:
+            site.on_message(message)
+    kernel.run(until=kernel.now + 5.0)  # drain anything wrongly re-queued
+    assert _escrow_fingerprint(cluster) == before
+    checker.check()
+
+
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
     variant=st.sampled_from([AvantanVariant.MAJORITY, AvantanVariant.STAR]),

@@ -1,7 +1,8 @@
-"""Tests for stable storage and the write-ahead log."""
+"""Tests for stable storage, the consensus log, and the recovery WAL."""
 
 import pytest
 
+from repro.storage.recovery import RecoveryWal
 from repro.storage.store import StableStore
 from repro.storage.wal import LogEntry, WriteAheadLog
 
@@ -57,6 +58,69 @@ class TestStableStore:
         store = StableStore("s")
         store.put("k", None)
         assert store.get("k", "default") is None
+
+
+class TestRecoveryWal:
+    def test_replay_returns_latest_value_per_key(self):
+        wal = RecoveryWal("s")
+        wal.append("entity", (100, 0))
+        wal.append("entity", (80, 5))
+        wal.append("avantan", {"ballot": 1})
+        assert wal.replay() == {"entity": (80, 5), "avantan": {"ballot": 1}}
+
+    def test_appended_value_isolated_from_later_mutation(self):
+        wal = RecoveryWal("s")
+        value = {"tokens": 10}
+        wal.append("k", value)
+        value["tokens"] = 0
+        assert wal.replay()["k"] == {"tokens": 10}
+
+    def test_replayed_value_isolated_from_log(self):
+        wal = RecoveryWal("s")
+        wal.append("k", {"tokens": 10})
+        wal.replay()["k"]["tokens"] = 0
+        assert wal.replay()["k"] == {"tokens": 10}
+
+    def test_disabled_wal_discards_appends(self):
+        wal = RecoveryWal("s")
+        wal.append("k", 1)
+        wal.enabled = False
+        wal.append("k", 2)
+        assert wal.replay() == {"k": 1}  # the stale-restore scenario
+        assert wal.appends == 1
+        assert wal.dropped_appends == 1
+
+    def test_compact_keeps_latest_record_per_key(self):
+        wal = RecoveryWal("s")
+        for tokens in (100, 90, 80):
+            wal.append("entity", tokens)
+        wal.append("avantan", "state")
+        assert wal.compact() == 2
+        assert len(wal) == 2
+        assert wal.replay() == {"entity": 80, "avantan": "state"}
+
+    def test_compact_preserves_order(self):
+        wal = RecoveryWal("s")
+        wal.append("a", 1)
+        wal.append("b", 2)
+        wal.append("a", 3)
+        wal.compact()
+        assert wal.replay() == {"a": 3, "b": 2}
+
+    def test_wipe_empties_the_log(self):
+        wal = RecoveryWal("s")
+        wal.append("k", 1)
+        wal.wipe()
+        assert wal.replay() == {}
+        assert len(wal) == 0
+
+    def test_counters(self):
+        wal = RecoveryWal("s")
+        wal.append("k", 1)
+        wal.replay()
+        wal.replay()
+        assert wal.appends == 1
+        assert wal.replays == 2
 
 
 class TestWriteAheadLog:
