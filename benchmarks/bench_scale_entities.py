@@ -1,0 +1,108 @@
+"""Scale subsystem — entity-count sweep (the `repro.scale` headline).
+
+Where the paper's figures sweep sites and offered load over a handful
+of entities, this bench sweeps the *entity axis*: 10^3 to 10^5 token
+entities on one sharded three-region deployment, with batched Avantan
+traffic and the vectorized conservation audit after every point.  The
+100k point alone pushes over a million simulated client requests.
+
+This file ships the ``scale_entities`` baseline (the tentpole
+acceptance gate); the cheap single-point CI companion lives in
+``bench_scale_smoke.py``.
+
+Sim-side counters are deterministic for a fixed seed, so they carry
+tight tolerances; wall-clock rates depend on the machine and are
+reported but ignored by the regression gate.
+"""
+
+from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
+from repro.scale import ScaleConfig, sweep_scale
+
+SEED = 11
+SWEEP = (1_000, 10_000, 100_000)
+DURATION = 30.0
+RATE = 12_000.0  # per region; 3 regions * 30 s ≈ 1.08M requests/point
+
+
+def _base() -> ScaleConfig:
+    return ScaleConfig(
+        regions=3,
+        maximum=30,
+        duration=DURATION,
+        rate=RATE,
+        seed=SEED,
+        batching=True,
+    )
+
+
+def _rows(results):
+    return [
+        [
+            result.entities,
+            result.submitted,
+            result.committed,
+            result.rejected,
+            result.rounds_applied,
+            result.wire_sent,
+            f"{result.wall_seconds:.1f}",
+            f"{result.wall_events_per_sec:,.0f}",
+            f"{result.wall_messages_per_sec:,.0f}",
+            len(result.violations),
+        ]
+        for result in results
+    ]
+
+
+def test_scale_entities_sweep(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, lambda: sweep_scale(SWEEP, _base()))
+    print(
+        format_table(
+            ["entities", "requests", "committed", "rejected", "rounds",
+             "wire msgs", "wall s", "events/s", "msgs/s", "violations"],
+            _rows(results),
+            title="scale sweep — 3 regions, batched, seed %d" % SEED,
+        )
+    )
+    by_point = {str(result.entities): result for result in results}
+    for result in results:
+        assert result.drained, result.entities
+        assert result.violations == [], result.entities
+        assert result.committed > 0, result.entities
+        assert result.batching is not None
+        assert result.batching["batches_sent"] > 0
+    # The tentpole acceptance floor: the top point is >= 100k entities
+    # and clears a million simulated requests on its own.
+    top = by_point[str(SWEEP[-1])]
+    assert top.entities >= 100_000
+    assert top.submitted >= 1_000_000
+    write_bench_json(
+        "scale_entities",
+        {
+            metric: {
+                name: point.as_metrics()[metric]
+                for name, point in by_point.items()
+            }
+            for metric in (
+                "submitted", "committed", "rejected", "failed",
+                "rounds_applied", "wire_sent", "violations", "drained",
+                "wall_seconds", "wall_events_per_sec",
+                "wall_messages_per_sec", "wall_requests_per_sec",
+            )
+        },
+        config={"sweep": list(SWEEP), "duration": DURATION, "rate": RATE,
+                "regions": 3, "maximum": 30},
+        seed=SEED,
+    )
+
+
+# Regression-gate contract: sim-deterministic counters are tight; wall
+# clock depends on the host and is informational only.
+register_baseline(
+    "scale_entities",
+    default=Tolerance(rel=0.05),
+    ignore=("wall_seconds", "wall_events_per_sec",
+            "wall_messages_per_sec", "wall_requests_per_sec"),
+)

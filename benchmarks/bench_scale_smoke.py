@@ -1,0 +1,73 @@
+"""Scale subsystem — single-point smoke bench for CI.
+
+One mid-size point (10k entities, three regions, batched) cheap enough
+to run on every push: the CI ``scale-smoke`` job selects it with
+``python -m repro bench -k scale_smoke`` and fails on baseline drift.
+The full entity-axis sweep lives in ``bench_scale_entities.py``; the
+two are separate files because the bench runner selects whole files.
+"""
+
+from repro.harness.report import format_table, write_bench_json
+from repro.harness.regression import Tolerance, register_baseline
+from repro.scale import ScaleConfig, run_scale
+
+SEED = 11
+ENTITIES = 10_000
+DURATION = 10.0
+RATE = 4_000.0
+
+
+def test_scale_smoke(benchmark):
+    from conftest import run_once
+
+    result = run_once(
+        benchmark,
+        lambda: run_scale(
+            ScaleConfig(
+                entities=ENTITIES,
+                regions=3,
+                maximum=30,
+                duration=DURATION,
+                rate=RATE,
+                seed=SEED,
+                batching=True,
+            )
+        ),
+    )
+    print(
+        format_table(
+            ["entities", "requests", "committed", "rejected", "rounds",
+             "wire msgs", "wall s", "events/s", "violations"],
+            [[
+                result.entities, result.submitted, result.committed,
+                result.rejected, result.rounds_applied, result.wire_sent,
+                f"{result.wall_seconds:.1f}",
+                f"{result.wall_events_per_sec:,.0f}",
+                len(result.violations),
+            ]],
+            title="scale smoke — one 10k-entity point, seed %d" % SEED,
+        )
+    )
+    assert result.drained
+    assert result.violations == []
+    assert result.committed > 0
+    assert result.batching is not None and result.batching["batches_sent"] > 0
+    write_bench_json(
+        "scale_smoke",
+        {str(ENTITIES): result.as_metrics()},
+        config={"entities": ENTITIES, "duration": DURATION, "rate": RATE,
+                "regions": 3, "maximum": 30},
+        seed=SEED,
+    )
+
+
+register_baseline(
+    "scale_smoke",
+    default=Tolerance(rel=0.05),
+    ignore=(
+        f"{ENTITIES}.wall_seconds",
+        f"{ENTITIES}.wall_events_per_sec",
+        f"{ENTITIES}.wall_messages_per_sec",
+        f"{ENTITIES}.wall_requests_per_sec",
+    ),
+)

@@ -321,6 +321,74 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep_scale(args: argparse.Namespace) -> int:
+    from repro.scale import ScaleConfig, sweep_scale
+    from repro.scale.site import ScaleSiteConfig
+
+    try:
+        counts = [int(part) for part in args.entities.split(",") if part.strip()]
+    except ValueError:
+        print(f"bad --entities list: {args.entities!r}", file=sys.stderr)
+        return 2
+    if not counts:
+        print("--entities must name at least one point", file=sys.stderr)
+        return 2
+    base = ScaleConfig(
+        regions=args.regions,
+        maximum=args.maximum,
+        duration=args.duration,
+        rate=args.rate,
+        seed=args.seed,
+        batching=not args.no_batch,
+        audit=not args.no_audit,
+        trace_path=args.trace,
+        site=ScaleSiteConfig(),
+    )
+    results = sweep_scale(counts, base)
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.entities,
+                result.submitted,
+                result.committed,
+                result.rejected,
+                result.rounds_triggered,
+                result.wire_sent,
+                f"{result.wall_seconds:.2f}",
+                f"{result.wall_events_per_sec:,.0f}",
+                f"{result.wall_messages_per_sec:,.0f}",
+                len(result.violations),
+            ]
+        )
+    mode = "batched" if base.batching else "unbatched"
+    print(
+        format_table(
+            ["entities", "requests", "committed", "rejected", "rounds",
+             "wire msgs", "wall s", "events/s", "msgs/s", "violations"],
+            rows,
+            title=(
+                f"scale sweep — {args.regions} regions, {mode}, "
+                f"{args.duration:.0f}s sim load per point, seed {args.seed}"
+            ),
+        )
+    )
+    failed = False
+    for result in results:
+        for line in result.violations:
+            failed = True
+            print(f"AUDIT [{result.entities} entities] {line}", file=sys.stderr)
+    if failed:
+        print("sweep-scale: conservation audit FAILED", file=sys.stderr)
+        return 1
+    if not args.no_audit:
+        print(
+            f"\nconservation audit: clean across "
+            f"{sum(result.audited for result in results)} audited entity points"
+        )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import subprocess
@@ -529,6 +597,35 @@ def build_parser() -> argparse.ArgumentParser:
              "stale state; the auditor should catch the conservation break)",
     )
     nemesis_parser.set_defaults(func=cmd_nemesis)
+
+    sweep_parser = sub.add_parser(
+        "sweep-scale",
+        help="sweep entity counts on the scale subsystem (sharded "
+             "directory, columnar token state, batched Avantan traffic) "
+             "and audit per-entity conservation",
+    )
+    sweep_parser.add_argument(
+        "--entities", default="1000,10000,100000",
+        help="comma-separated entity counts to sweep (default "
+             "1000,10000,100000)",
+    )
+    sweep_parser.add_argument("--duration", type=float, default=30.0,
+                              help="simulated seconds of load per point")
+    sweep_parser.add_argument("--rate", type=float, default=4000.0,
+                              help="client requests/sec per region")
+    sweep_parser.add_argument("--maximum", type=int, default=30,
+                              help="tokens per entity M_e (default 30)")
+    sweep_parser.add_argument("--regions", type=int, default=3)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument("--no-batch", action="store_true",
+                              help="disable the batching transport layer")
+    sweep_parser.add_argument("--no-audit", action="store_true",
+                              help="skip the vectorized conservation audit")
+    sweep_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a message-plane JSONL trace per point (.gz = gzip)",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep_scale)
 
     bench_parser = sub.add_parser(
         "bench",

@@ -21,9 +21,18 @@ from repro.prediction.base import Predictor
 
 
 def split_initial_allocation(maximum: int, sites: int) -> list[int]:
-    """Evenly split M_e across sites; remainder to the first sites."""
+    """Evenly split M_e across sites; remainder to the first sites.
+
+    The shares always sum to exactly ``maximum`` (conservation holds
+    from the very first allocation) and differ by at most one token.
+    A negative ``maximum`` is rejected rather than floor-divided:
+    ``divmod(-1, 3)`` would yield ``[0, 0, -1]`` — "shares" that sum
+    correctly but seed a site with negative tokens.
+    """
     if sites <= 0:
         raise ValueError("need at least one site")
+    if maximum < 0:
+        raise ValueError(f"maximum must be non-negative, got {maximum}")
     share, remainder = divmod(maximum, sites)
     return [share + (1 if index < remainder else 0) for index in range(sites)]
 

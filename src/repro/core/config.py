@@ -93,8 +93,17 @@ class SamyaConfig:
     #: supplied through the cooldown window above.
     want_horizon_epochs: float = 4.0
 
+    #: Sliding-window size of the per-site envelope dedup
+    #: (:class:`repro.net.message.EnvelopeDedup`).  Must exceed the
+    #: number of envelopes plausibly in flight to one site; evictions
+    #: past the window are counted and surfaced as ``dedup.evict``
+    #: trace events.
+    msg_dedup_window: int = 1 << 16
+
     def __post_init__(self) -> None:
         if self.epoch_seconds <= 0:
             raise ValueError("epoch_seconds must be positive")
         if self.service_time < 0 or self.protocol_service_time < 0:
             raise ValueError("service times must be non-negative")
+        if self.msg_dedup_window <= 0:
+            raise ValueError("msg_dedup_window must be positive")

@@ -30,6 +30,7 @@ from repro.core.site import SamyaSite
 from repro.metrics.invariants import ConservationChecker
 from repro.net.transport import Clock, Transport
 from repro.net.regions import Region
+from repro.scale.shards import ShardedEntityDirectory
 
 
 @dataclass
@@ -45,23 +46,30 @@ class EntitySpec:
 
 
 class EntityDirectory:
-    """Lookup service: entity id -> the routing policy for its sites."""
+    """Lookup service: entity id -> the routing policy for its sites.
 
-    def __init__(self) -> None:
-        self._routes: dict[str, ClosestRegionRouting] = {}
-        self.lookups = 0
+    Backed by the sharded directory from :mod:`repro.scale.shards`: the
+    id space is hash-partitioned so lookup stays O(1) and lifecycle
+    scans stay O(shard) at any entity count.  The original flat-map API
+    is preserved verbatim — this class only narrows the record type to
+    routing policies.
+    """
+
+    def __init__(self, n_shards: int = 64) -> None:
+        self._shards = ShardedEntityDirectory(n_shards)
+
+    @property
+    def lookups(self) -> int:
+        return self._shards.lookups
 
     def register(self, entity_id: str, routing: ClosestRegionRouting) -> None:
-        if entity_id in self._routes:
-            raise ValueError(f"entity {entity_id!r} already registered")
-        self._routes[entity_id] = routing
+        self._shards.register(entity_id, routing)
 
     def lookup(self, entity_id: str) -> ClosestRegionRouting | None:
-        self.lookups += 1
-        return self._routes.get(entity_id)
+        return self._shards.lookup(entity_id)
 
     def entities(self) -> list[str]:
-        return sorted(self._routes)
+        return self._shards.entities()
 
 
 class DirectoryAppManager(AppManager):

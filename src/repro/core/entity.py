@@ -28,7 +28,14 @@ class Entity:
 
 
 class EntityState:
-    """A site's local state for one entity (Table 1a)."""
+    """A site's local state for one entity (Table 1a).
+
+    The slots are the storage contract subclasses may override:
+    :class:`repro.scale.entity_table.EntityView` shadows all three with
+    properties backed by columnar table rows, and the methods below are
+    written against the attribute *interface* (never the slots
+    directly) so they work unchanged over either representation.
+    """
 
     __slots__ = ("entity_id", "tokens_left", "tokens_wanted")
 

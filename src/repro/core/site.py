@@ -85,7 +85,9 @@ class SamyaSite(Actor):
         # Envelope dedup: a live transport may retransmit an unconfirmed
         # frame after a reconnect, and the fault layer deliberately
         # re-delivers envelopes, so the same msg_id can arrive twice.
-        self._envelopes = EnvelopeDedup(self._MSG_DEDUP_LIMIT)
+        self._envelopes = EnvelopeDedup(
+            self.config.msg_dedup_window, on_evict=self._on_dedup_evict
+        )
         self._busy_until = 0.0
         self._draining = False
         self._last_proactive_check = -math.inf
@@ -129,7 +131,22 @@ class SamyaSite(Actor):
 
     # -- message entry / service-time model -----------------------------------
 
-    _MSG_DEDUP_LIMIT = 8192
+    #: In steady state every insert past the window evicts one id, so the
+    #: trace event is sampled: the first eviction (the window just became
+    #: lossy) and every 4096th after it, each carrying the running total.
+    _DEDUP_EVICT_SAMPLE = 4096
+
+    def _on_dedup_evict(self, total: int) -> None:
+        if total != 1 and total % self._DEDUP_EVICT_SAMPLE != 0:
+            return
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "dedup.evict",
+                node=self.name,
+                evictions=total,
+                window=self._envelopes.limit,
+            )
 
     def on_message(self, message: Message) -> None:
         """Queue the message behind in-progress work, then dispatch.

@@ -90,6 +90,7 @@ def _ensure_bootstrap() -> None:
     )
     from repro.net.message import Message
     from repro.net.regions import Region
+    from repro.scale.batching import BatchEnvelope, BatchItem, EntityScoped
     from repro.storage.wal import LogEntry
 
     for cls in (
@@ -133,6 +134,10 @@ def _ensure_bootstrap() -> None:
         # demarcation/escrow baseline
         BorrowRequest,
         BorrowGrant,
+        # scale subsystem: batched envelopes and entity-scoped dispatch
+        EntityScoped,
+        BatchItem,
+        BatchEnvelope,
         # enums reached through the above
         RequestKind,
         RequestStatus,

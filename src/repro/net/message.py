@@ -58,14 +58,24 @@ class EnvelopeDedup:
     must not execute.  The window is bounded so a long run cannot grow
     the seen-set without limit; ``limit`` only needs to exceed the
     number of envelopes that can plausibly be in flight to one receiver.
+
+    Evictions are counted (and optionally reported through ``on_evict``)
+    because an eviction is the moment the at-least-once guarantee thins:
+    a retransmission older than the window would execute twice.  In
+    steady state every insert past ``limit`` evicts, so consumers that
+    trace evictions should sample rather than emit per event.
     """
 
-    __slots__ = ("_seen", "_order", "limit")
+    __slots__ = ("_seen", "_order", "limit", "evictions", "on_evict")
 
-    def __init__(self, limit: int = 8192) -> None:
+    def __init__(self, limit: int = 1 << 16, on_evict=None) -> None:
         self.limit = limit
         self._seen: set[int] = set()
         self._order: deque[int] = deque()
+        #: Total ids aged out of the window since construction.
+        self.evictions = 0
+        #: Optional ``callback(evictions_total)`` fired on each eviction.
+        self.on_evict = on_evict
 
     def seen(self, msg_id: int) -> bool:
         """Record ``msg_id``; True if it was already in the window."""
@@ -75,6 +85,9 @@ class EnvelopeDedup:
         self._order.append(msg_id)
         if len(self._order) > self.limit:
             self._seen.discard(self._order.popleft())
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(self.evictions)
         return False
 
     def __len__(self) -> int:

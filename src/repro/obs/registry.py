@@ -7,9 +7,15 @@ Prometheus-shaped — counters only go up, gauges are set, histograms
 have cumulative buckets — so :mod:`repro.obs.exposition` can render it
 in the standard text format without translation.
 
-Instruments are keyed by (name, label values); label sets are tiny and
-bounded (message types, region pairs, span names), so plain dicts are
-fine.  :class:`TraceMetricsFeed` is the bridge from the event stream:
+Instruments are keyed by (name, label values); label sets are usually
+tiny (message types, region pairs, span names), so plain dicts are
+fine.  The exception is anything labelled per entity or per node at
+scale — 10^5 entities would mean 10^5 cells per instrument and an
+O(entities) /metrics page — so every registry-created instrument caps
+its cell count (``max_label_values``, default 1024): once the cap is
+hit, *new* label combinations aggregate into a single
+``"__other__"`` overflow cell while existing cells keep updating.
+Exposition stays O(cap) no matter how many entities a run touches.  :class:`TraceMetricsFeed` is the bridge from the event stream:
 subscribed as an :class:`~repro.obs.bus.EventBus` tap, it folds every
 event into the standard instrument set below, which means sim runs,
 live runs, and offline trace replays all produce identical metrics for
@@ -59,20 +65,49 @@ DEFAULT_BUCKETS = (
 
 LabelValues = tuple[str, ...]
 
+#: The label value unseen combinations collapse into once an instrument
+#: hits its cell cap.
+OVERFLOW_LABEL = "__other__"
+
+
+def _bounded_key(
+    cells: Mapping[LabelValues, Any],
+    labels: tuple[str, ...],
+    labelnames: tuple[str, ...],
+    limit: int | None,
+) -> LabelValues:
+    """The cell to write: the real key, or the overflow cell at the cap.
+
+    Existing cells always keep updating — the cap only stops *new*
+    combinations from allocating, so totals stay exact and only the
+    attribution of the long tail coarsens.
+    """
+    key = tuple(labels)
+    if limit is None or key in cells or len(cells) < limit:
+        return key
+    return (OVERFLOW_LABEL,) * len(labelnames)
+
 
 class Counter:
     """Monotone counter, one cell per label-value tuple."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        max_cells: int | None = None,
+    ) -> None:
         self.name = name
         self.help = help
         self.labelnames = labelnames
+        self.max_cells = max_cells
         self.cells: dict[LabelValues, float] = {}
 
     def inc(self, *labels: str, value: float = 1.0) -> None:
-        key = tuple(labels)
+        key = _bounded_key(self.cells, labels, self.labelnames, self.max_cells)
         self.cells[key] = self.cells.get(key, 0.0) + value
 
 
@@ -81,14 +116,22 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        max_cells: int | None = None,
+    ) -> None:
         self.name = name
         self.help = help
         self.labelnames = labelnames
+        self.max_cells = max_cells
         self.cells: dict[LabelValues, float] = {}
 
     def set(self, *labels: str, value: float) -> None:
-        self.cells[tuple(labels)] = value
+        key = _bounded_key(self.cells, labels, self.labelnames, self.max_cells)
+        self.cells[key] = value
 
 
 class Histogram:
@@ -102,17 +145,19 @@ class Histogram:
         help: str,
         labelnames: tuple[str, ...] = (),
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        max_cells: int | None = None,
     ) -> None:
         self.name = name
         self.help = help
         self.labelnames = labelnames
+        self.max_cells = max_cells
         self.buckets = tuple(sorted(buckets))
         #: label values -> [per-bucket counts..., +Inf count]
         self.cells: dict[LabelValues, list[int]] = {}
         self.sums: dict[LabelValues, float] = {}
 
     def observe(self, *labels: str, value: float) -> None:
-        key = tuple(labels)
+        key = _bounded_key(self.cells, labels, self.labelnames, self.max_cells)
         counts = self.cells.get(key)
         if counts is None:
             counts = [0] * (len(self.buckets) + 1)
@@ -126,20 +171,31 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Holds instruments; snapshot/render are the two read paths."""
+    """Holds instruments; snapshot/render are the two read paths.
 
-    def __init__(self) -> None:
+    ``max_label_values`` bounds the per-instrument cell count (see the
+    module docs); ``None`` disables the cap.
+    """
+
+    def __init__(self, max_label_values: int | None = 1024) -> None:
+        if max_label_values is not None and max_label_values <= 0:
+            raise ValueError("max_label_values must be positive or None")
+        self.max_label_values = max_label_values
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
     def counter(
         self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
     ) -> Counter:
-        return self._get_or_create(Counter(name, help, labelnames))
+        return self._get_or_create(
+            Counter(name, help, labelnames, max_cells=self.max_label_values)
+        )
 
     def gauge(
         self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
     ) -> Gauge:
-        return self._get_or_create(Gauge(name, help, labelnames))
+        return self._get_or_create(
+            Gauge(name, help, labelnames, max_cells=self.max_label_values)
+        )
 
     def histogram(
         self,
@@ -148,7 +204,11 @@ class MetricsRegistry:
         labelnames: tuple[str, ...] = (),
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> Histogram:
-        return self._get_or_create(Histogram(name, help, labelnames, buckets))
+        return self._get_or_create(
+            Histogram(
+                name, help, labelnames, buckets, max_cells=self.max_label_values
+            )
+        )
 
     def _get_or_create(self, instrument):
         existing = self._instruments.get(instrument.name)

@@ -1,0 +1,229 @@
+"""Round batching: one wire envelope per (src, dst) pair per kernel tick.
+
+At scale, many entities' Avantan rounds overlap, and every round sends a
+handful of small messages between the same few sites.  The per-message
+cost (envelope, latency sampling, delivery event, and on a real socket a
+frame) dominates.  The fix — the same one planet-scale SMR systems use —
+is to coalesce: every payload sent to the same (src, dst) pair within
+one kernel tick is buffered and flushed as a single
+:class:`BatchEnvelope`; the receiving side unpacks it transparently so
+per-entity protocol code never knows batching exists.
+
+Correctness under faults rests on one invariant: each batched payload is
+assigned its process-unique ``msg_id`` **at buffering time** and carried
+inside the :class:`BatchItem`.  Unpacking reconstructs the inner
+:class:`~repro.net.message.Message` with that stored id, so when the
+fault layer re-delivers a whole envelope (a modeled retransmission), the
+receiver's :class:`~repro.net.message.EnvelopeDedup` sees the same inner
+ids again and absorbs the duplicate — dropping, duplicating, or
+reordering a *batch* degrades to dropping, duplicating, or reordering
+its members, which the protocol already tolerates.
+
+:class:`BatchingTransport` is a decorator over any
+:class:`repro.net.transport.Transport` (compose it *outside* a
+:class:`~repro.faults.transport.FaultyTransport` so injected faults hit
+whole envelopes).  Single-payload buffers flush as the bare payload —
+no envelope overhead when there is nothing to coalesce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.message import Message, next_msg_id
+from repro.net.regions import Region
+
+
+@dataclass(frozen=True)
+class EntityScoped:
+    """A protocol payload tagged with the entity it belongs to.
+
+    A scale site hosts every entity's protocol instances behind one
+    endpoint, so cross-site Avantan messages carry this wrapper for
+    dispatch.  The inner payload is an unchanged ``core.messages`` type.
+    """
+
+    entity_id: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One coalesced payload plus the envelope id it would have used."""
+
+    msg_id: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class BatchEnvelope:
+    """All payloads for one (src, dst) pair from one kernel tick."""
+
+    items: tuple[BatchItem, ...]
+
+
+class _UnbatchProxy:
+    """Receive-side shim: unpacks envelopes, passes everything else."""
+
+    __slots__ = ("_endpoint", "_layer")
+
+    def __init__(self, endpoint, layer: "BatchingTransport") -> None:
+        self._endpoint = endpoint
+        self._layer = layer
+
+    @property
+    def name(self) -> str:
+        return self._endpoint.name
+
+    @property
+    def crashed(self) -> bool:
+        return self._endpoint.crashed
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, BatchEnvelope):
+            self._endpoint.on_message(message)
+            return
+        self._layer.batches_delivered += 1
+        for item in payload.items:
+            if self._endpoint.crashed:
+                return  # a handler crashed the endpoint mid-unpack
+            self._endpoint.on_message(
+                Message(
+                    src=message.src,
+                    dst=message.dst,
+                    payload=item.payload,
+                    sent_at=message.sent_at,
+                    delivered_at=message.delivered_at,
+                    msg_id=item.msg_id,
+                    trace_id=message.trace_id,
+                )
+            )
+
+
+class BatchingTransport:
+    """Transport decorator that coalesces same-tick, same-link sends."""
+
+    def __init__(self, inner, clock) -> None:
+        self.inner = inner
+        self.clock = clock
+        #: Duck-type parity with Network.kernel for code that reads it.
+        self.kernel = clock
+        self._buffers: dict[tuple[str, str], list[BatchItem]] = {}
+        self._scheduled: set[tuple[str, str]] = set()
+        #: Payloads handed to ``send`` (the logical message count).
+        self.logical_sent = 0
+        #: Envelopes actually flushed with >= 2 items.
+        self.batches_sent = 0
+        #: Payloads that travelled inside those envelopes.
+        self.batched_payloads = 0
+        #: Single-payload flushes sent bare.
+        self.passthrough_sent = 0
+        self.batches_delivered = 0
+
+    # -- protocol surface: registration ------------------------------------
+
+    def attach(self, endpoint, region: Region) -> None:
+        self.inner.attach(_UnbatchProxy(endpoint, self), region)
+
+    def detach(self, name: str) -> None:
+        self.inner.detach(name)
+
+    def region_of(self, name: str) -> Region:
+        return self.inner.region_of(name)
+
+    def endpoints(self) -> list[str]:
+        return self.inner.endpoints()
+
+    def latency(self, a: str, b: str) -> float:
+        return self.inner.latency(a, b)
+
+    # -- protocol surface: delegated state ----------------------------------
+
+    @property
+    def partitions(self):
+        return self.inner.partitions
+
+    @property
+    def obs(self):
+        return self.inner.obs
+
+    @obs.setter
+    def obs(self, bus) -> None:
+        self.inner.obs = bus
+
+    @property
+    def trace(self):
+        return self.inner.trace
+
+    @trace.setter
+    def trace(self, tap) -> None:
+        self.inner.trace = tap
+
+    @property
+    def messages_sent(self) -> int:
+        """Wire envelopes sent (what latency and sockets pay for)."""
+        return self.inner.messages_sent
+
+    @property
+    def messages_dropped(self) -> int:
+        return self.inner.messages_dropped
+
+    @property
+    def messages_delivered(self) -> int:
+        return self.inner.messages_delivered
+
+    @property
+    def sent_by_type(self):
+        return self.inner.sent_by_type
+
+    @property
+    def delivered_by_type(self):
+        return self.inner.delivered_by_type
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        self.logical_sent += 1
+        key = (src, dst)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = []
+            self._buffers[key] = buffer
+        buffer.append(BatchItem(next_msg_id(), payload))
+        if key not in self._scheduled:
+            self._scheduled.add(key)
+            # Delay 0: the flush fires after every event already queued at
+            # the current timestamp, so all same-tick sends to this link
+            # land in one envelope.
+            self.clock.schedule(0.0, self._flush, key)
+
+    def broadcast(self, src: str, dsts: list[str], payload: Any) -> None:
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    def _flush(self, key: tuple[str, str]) -> None:
+        self._scheduled.discard(key)
+        items = self._buffers.pop(key, None)
+        if not items:
+            return
+        src, dst = key
+        if len(items) == 1:
+            self.passthrough_sent += 1
+            self.inner.send(src, dst, items[0].payload)
+            return
+        self.batches_sent += 1
+        self.batched_payloads += len(items)
+        self.inner.send(src, dst, BatchEnvelope(tuple(items)))
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "logical_sent": self.logical_sent,
+            "batches_sent": self.batches_sent,
+            "batched_payloads": self.batched_payloads,
+            "passthrough_sent": self.passthrough_sent,
+            "batches_delivered": self.batches_delivered,
+        }

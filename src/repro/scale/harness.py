@@ -1,0 +1,587 @@
+"""Build, drive, and audit scale deployments.
+
+The scale harness answers one question: how far does one deployment
+stretch in entity count before throughput or correctness gives?  It
+wires :class:`~repro.scale.site.ScaleSiteHost` regions behind an
+optional :class:`~repro.scale.batching.BatchingTransport`, registers
+every entity in a :class:`~repro.scale.shards.ShardedEntityDirectory`,
+drives an open-loop client workload from each region, and — because a
+scale run is exactly where a low-probability conservation bug becomes a
+certainty — audits per-entity conservation over the entity tables with
+one vectorized pass instead of 10^5 per-entity checkers.
+
+Determinism: every random choice draws from kernel streams keyed by
+actor name, network jitter defaults off, and shard placement hashes with
+crc32 — so a (config, seed) pair replays bit-identically, which is what
+the batched-versus-unbatched parity test pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.cluster import split_initial_allocation
+from repro.net.network import Network, NetworkConfig
+from repro.net.regions import PAPER_REGIONS
+from repro.scale.batching import BatchingTransport
+from repro.scale.shards import ShardedEntityDirectory
+from repro.scale.site import ScaleSiteConfig, ScaleSiteHost
+from repro.sim.kernel import Kernel
+from repro.sim.process import Actor
+
+try:  # pragma: no cover - exercised indirectly on both paths
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+@dataclass
+class ScaleConfig:
+    """One scale run: deployment shape plus workload."""
+
+    entities: int = 10_000
+    regions: int = 3
+    #: Tokens per entity (M_e).
+    maximum: int = 30
+    #: Simulated seconds of open-loop load.
+    duration: float = 30.0
+    #: Client requests per second, per region.
+    rate: float = 4000.0
+    #: Workload batching quantum: each driver issues ``rate * tick``
+    #: requests inline per tick event (fractional carry preserved).
+    tick: float = 0.05
+    seed: int = 0
+    batching: bool = True
+    #: Probability a request is an acquire (the rest release held tokens).
+    acquire_fraction: float = 0.65
+    #: Size of the high-contention hot set (absolute, clamped to
+    #: ``entities``).  An absolute count, not a fraction: the point of
+    #: the sweep is to grow the cold tail while contention stays fixed,
+    #: so the redistribution-round rate does not scale with entities.
+    hot_entities: int = 256
+    #: Probability a request targets the hot set.
+    hot_weight: float = 0.5
+    #: Per-request token amount is uniform in [1, amount_max].
+    amount_max: int = 4
+    #: Cap on the total tokens one driver may demand per entity
+    #: (None = uncapped).  The parity test sets maximum // regions so
+    #: global demand never exceeds supply and every acquire must commit.
+    per_entity_budget: int | None = None
+    #: "spread": initial tokens split across regions (rotated remainder);
+    #: "first": all tokens seeded at region 0, forcing redistribution.
+    placement: str = "spread"
+    #: Event budget for post-load quiescence (protocol rounds finishing,
+    #: queues draining).
+    max_drain_events: int = 20_000_000
+    audit: bool = True
+    jitter_sigma: float = 0.0
+    loss_probability: float = 0.0
+    #: Write a JSONL telemetry trace of the run here (``.gz`` = gzip).
+    #: Message-plane events only — per-entity protocol spans at 10^5
+    #: entities would swamp any trace, so scale hosts expose no bus.
+    trace_path: str | None = None
+    site: ScaleSiteConfig = field(default_factory=ScaleSiteConfig)
+
+    def __post_init__(self) -> None:
+        if self.entities <= 0:
+            raise ValueError("need at least one entity")
+        if not 1 <= self.regions <= len(PAPER_REGIONS):
+            raise ValueError(
+                f"regions must be in [1, {len(PAPER_REGIONS)}], got {self.regions}"
+            )
+        if self.placement not in ("spread", "first"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+        if self.maximum <= 0:
+            raise ValueError("maximum must be positive")
+
+
+class ScaleLoadDriver(Actor):
+    """Open-loop client population for one region.
+
+    Requests are *local calls* into the region's host (clients are
+    region-local in the paper's deployment; the intra-region hop is not
+    what the scale sweep measures).  Entity choice mixes a fixed hot set
+    with a uniform draw over all entities; release amounts never exceed
+    what this driver's clients actually hold, so cluster-wide
+    ``released <= acquired`` per entity by construction — the audit can
+    then require outstanding tokens to be non-negative.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        region_index: int,
+        hosts: Sequence[ScaleSiteHost],
+        directory: ShardedEntityDirectory,
+        config: ScaleConfig,
+    ) -> None:
+        super().__init__(kernel, name)
+        self.region_index = region_index
+        self.hosts = list(hosts)
+        self.directory = directory
+        self.config = config
+        self.until = config.duration
+        self.hot_count = min(config.hot_entities, config.entities)
+        self._carry = 0.0
+        #: entity id -> tokens this driver's clients currently hold.
+        self.holdings: dict[str, int] = {}
+        #: entity id -> total tokens demanded (for per_entity_budget).
+        self.demanded: dict[str, int] = {}
+        self.submitted = 0
+        self.immediate = 0
+        self.queued = 0
+        self.rejected_now = 0
+        self.failed = 0
+        self.skipped = 0
+        self.after(config.tick, self._tick)
+
+    def _tick(self) -> None:
+        if self.now >= self.until:
+            return
+        rng = self.rng()
+        budget = self.config.rate * self.config.tick + self._carry
+        count = int(budget)
+        self._carry = budget - count
+        for _ in range(count):
+            self._one_request(rng)
+        self.after(self.config.tick, self._tick)
+
+    def _one_request(self, rng) -> None:
+        config = self.config
+        # Draw everything up front so the rng stream advances identically
+        # regardless of per-request outcomes — the determinism the parity
+        # test leans on.
+        hot = self.hot_count > 0 and rng.random() < config.hot_weight
+        if hot:
+            entity_id = f"e{rng.randrange(self.hot_count)}"
+        else:
+            entity_id = f"e{rng.randrange(config.entities)}"
+        acquire_draw = rng.random() < config.acquire_fraction
+        amount = rng.randint(1, config.amount_max)
+
+        record = self.directory.lookup(entity_id)
+        if record is None:
+            self.failed += 1
+            return
+        host = self._route(record)
+        if host is None:
+            self.failed += 1
+            return
+
+        held = self.holdings.get(entity_id, 0)
+        acquire = acquire_draw or held == 0
+        if acquire:
+            if config.per_entity_budget is not None:
+                remaining = config.per_entity_budget - self.demanded.get(entity_id, 0)
+                amount = min(amount, remaining)
+                if amount <= 0:
+                    self.skipped += 1
+                    return
+                self.demanded[entity_id] = (
+                    self.demanded.get(entity_id, 0) + amount
+                )
+        else:
+            amount = min(amount, held)
+
+        self.submitted += 1
+        status = host.submit(entity_id, acquire, amount)
+        if status == "committed":
+            self.immediate += 1
+            if acquire:
+                self.holdings[entity_id] = held + amount
+            else:
+                self.holdings[entity_id] = held - amount
+        elif status == "queued":
+            # The grant (if any) lands after this driver stopped watching;
+            # the ledger columns still count it.  Holdings stay put, which
+            # only makes releases more conservative.
+            self.queued += 1
+        elif status == "rejected":
+            self.rejected_now += 1
+        else:
+            self.failed += 1
+
+    def _route(self, record: Sequence[ScaleSiteHost]) -> ScaleSiteHost | None:
+        """Prefer the local region's host; fail over round-robin."""
+        count = len(record)
+        for offset in range(count):
+            host = record[(self.region_index + offset) % count]
+            if not host.crashed:
+                return host
+        return None
+
+
+@dataclass
+class ScaleDeployment:
+    """Everything ``build_scale_deployment`` wires together."""
+
+    kernel: Kernel
+    network: Network
+    transport: Any
+    batching: BatchingTransport | None
+    hosts: list[ScaleSiteHost]
+    drivers: list[ScaleLoadDriver]
+    directory: ShardedEntityDirectory
+    config: ScaleConfig
+    obs: Any = None
+
+
+def build_scale_deployment(
+    config: ScaleConfig,
+    transport_wrap: Callable[[Any], Any] | None = None,
+) -> ScaleDeployment:
+    """Wire a scale deployment (no load has run yet).
+
+    ``transport_wrap`` interposes between the sim network and the
+    batching layer — pass a ``FaultyTransport`` factory so injected
+    faults hit whole batch envelopes, the deployment order the fault
+    tests exercise.
+    """
+    kernel = Kernel(config.seed)
+    network = Network(
+        kernel,
+        NetworkConfig(
+            jitter_sigma=config.jitter_sigma,
+            loss_probability=config.loss_probability,
+        ),
+    )
+    obs = None
+    if config.trace_path is not None:
+        from repro.obs.bus import EventBus, JsonlSink
+
+        obs = EventBus(kernel, JsonlSink(config.trace_path))
+        # Installed on the network only: message-plane telemetry scales
+        # with wire envelopes, not entities (see ScaleConfig.trace_path).
+        network.obs = obs
+    transport: Any = network
+    if transport_wrap is not None:
+        transport = transport_wrap(transport)
+    batching = None
+    if config.batching:
+        batching = BatchingTransport(transport, kernel)
+        transport = batching
+
+    regions = PAPER_REGIONS[: config.regions]
+    hosts = [
+        ScaleSiteHost(
+            kernel, f"scale-{region.value}", region, transport, config.site
+        )
+        for region in regions
+    ]
+    names = [host.name for host in hosts]
+    for host in hosts:
+        host.connect(names)
+
+    directory = ShardedEntityDirectory()
+    shares = split_initial_allocation(config.maximum, len(hosts))
+    record = tuple(hosts)
+    for index in range(config.entities):
+        entity_id = f"e{index}"
+        for position, host in enumerate(hosts):
+            if config.placement == "first":
+                share = config.maximum if position == 0 else 0
+            else:
+                # Rotate the remainder so no single region systematically
+                # holds the extra token.
+                share = shares[(position + index) % len(hosts)]
+            host.add_entity(entity_id, share)
+        directory.register(entity_id, record)
+
+    drivers = [
+        ScaleLoadDriver(
+            kernel,
+            f"load-{region.value}",
+            position,
+            hosts,
+            directory,
+            config,
+        )
+        for position, region in enumerate(regions)
+    ]
+    return ScaleDeployment(
+        kernel=kernel,
+        network=network,
+        transport=transport,
+        batching=batching,
+        hosts=hosts,
+        drivers=drivers,
+        directory=directory,
+        config=config,
+        obs=obs,
+    )
+
+
+def audit_conservation(
+    deployment: ScaleDeployment, strict: bool = True
+) -> tuple[list[str], int]:
+    """Vectorized per-entity conservation check.
+
+    For every entity ``e``: ``sum over hosts of tokens_left[e] +
+    (acquired[e] - released[e]) == maximum`` and outstanding tokens
+    (acquired - released) must be non-negative.  Entities with a
+    redistribution round still in flight are excluded unless ``strict``
+    — mid-round, a decided grant is legitimately applied on some hosts
+    and not yet on others.  Returns ``(violations, entities_audited)``.
+    """
+    hosts = deployment.hosts
+    maximum = deployment.config.maximum
+    violations: list[str] = []
+    base = hosts[0].table
+    for host in hosts[1:]:
+        if host.table.ids != base.ids:
+            violations.append(f"entity rows diverge between {hosts[0].name} and {host.name}")
+            return violations, 0
+
+    active_rows: set[int] = set()
+    if not strict:
+        for host in hosts:
+            for entity_id in host.active_rounds():
+                row = base.get(entity_id)
+                if row is not None:
+                    active_rows.add(row)
+    elif any(host.active_rounds() for host in hosts):
+        violations.append("strict audit ran with redistribution rounds still active")
+
+    count = len(base)
+    audited = count - len(active_rows)
+    columns = ("tokens_left", "acquired", "released")
+    arrays = {name: hosts[0].table.as_numpy(name) for name in columns}
+    if arrays["tokens_left"] is not None:
+        left = arrays["tokens_left"].astype(_np.int64, copy=True)
+        acquired = arrays["acquired"].astype(_np.int64, copy=True)
+        released = arrays["released"].astype(_np.int64, copy=True)
+        for host in hosts[1:]:
+            left += host.table.as_numpy("tokens_left")
+            acquired += host.table.as_numpy("acquired")
+            released += host.table.as_numpy("released")
+        net = left + acquired - released
+        outstanding = acquired - released
+        for row in _np.flatnonzero(net != maximum):
+            if int(row) in active_rows:
+                continue
+            violations.append(
+                f"entity {base.ids[row]}: settled {int(left[row])} + outstanding "
+                f"{int(outstanding[row])} != maximum {maximum}"
+            )
+        for row in _np.flatnonzero(outstanding < 0):
+            if int(row) in active_rows:
+                continue
+            violations.append(
+                f"entity {base.ids[row]}: outstanding {int(outstanding[row])} < 0 "
+                "(released more than acquired)"
+            )
+    else:  # pure-python fallback
+        for row in range(count):
+            if row in active_rows:
+                continue
+            left = sum(host.table.tokens_left[row] for host in hosts)
+            acquired = sum(host.table.acquired[row] for host in hosts)
+            released = sum(host.table.released[row] for host in hosts)
+            outstanding = acquired - released
+            if left + outstanding != maximum:
+                violations.append(
+                    f"entity {base.ids[row]}: settled {left} + outstanding "
+                    f"{outstanding} != maximum {maximum}"
+                )
+            if outstanding < 0:
+                violations.append(
+                    f"entity {base.ids[row]}: outstanding {outstanding} < 0"
+                )
+    return violations, audited
+
+
+@dataclass
+class ScaleResult:
+    """Outcome of one scale run (simulated metrics plus wall clock)."""
+
+    config: ScaleConfig
+    entities: int
+    submitted: int
+    committed: int
+    rejected: int
+    queued_unresolved: int
+    failed: int
+    skipped: int
+    acquired_tokens: int
+    released_tokens: int
+    rounds_triggered: int
+    rounds_applied: int
+    protocol_instances: int
+    directory_lookups: int
+    wire_sent: int
+    wire_delivered: int
+    wire_dropped: int
+    dedup_evictions: int
+    batching: dict[str, int] | None
+    sim_time: float
+    events_fired: int
+    wall_seconds: float
+    drained: bool
+    audited: int
+    violations: list[str]
+
+    @property
+    def wall_events_per_sec(self) -> float:
+        return self.events_fired / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def wall_messages_per_sec(self) -> float:
+        return self.wire_delivered / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def wall_requests_per_sec(self) -> float:
+        return self.submitted / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def sim_requests_per_sec(self) -> float:
+        duration = self.config.duration
+        return self.submitted / duration if duration else 0.0
+
+    def as_metrics(self) -> dict[str, Any]:
+        """Flat metric dict for bench JSON artifacts."""
+        metrics: dict[str, Any] = {
+            "entities": self.entities,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "rounds_triggered": self.rounds_triggered,
+            "rounds_applied": self.rounds_applied,
+            "protocol_instances": self.protocol_instances,
+            "wire_sent": self.wire_sent,
+            "wire_delivered": self.wire_delivered,
+            "dedup_evictions": self.dedup_evictions,
+            "events_fired": self.events_fired,
+            "sim_requests_per_sec": round(self.sim_requests_per_sec, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "wall_events_per_sec": round(self.wall_events_per_sec, 1),
+            "wall_messages_per_sec": round(self.wall_messages_per_sec, 1),
+            "wall_requests_per_sec": round(self.wall_requests_per_sec, 1),
+            "violations": len(self.violations),
+            "drained": int(self.drained),
+        }
+        if self.batching is not None:
+            metrics.update(
+                {f"batch_{key}": value for key, value in self.batching.items()}
+            )
+        return metrics
+
+
+def run_scale(
+    config: ScaleConfig,
+    transport_wrap: Callable[[Any], Any] | None = None,
+    deployment: ScaleDeployment | None = None,
+    keep_deployment: bool = False,
+) -> ScaleResult | tuple[ScaleResult, ScaleDeployment]:
+    """Run one scale point end to end and audit it.
+
+    Wall-clock timing wraps the whole simulated run (load plus drain);
+    the drain phase lets in-flight redistribution rounds terminate and
+    queued requests resolve, so the strict conservation audit applies.
+    """
+    if deployment is None:
+        deployment = build_scale_deployment(config, transport_wrap)
+    kernel = deployment.kernel
+    start = time.perf_counter()
+    kernel.run(until=config.duration)
+    kernel.run(max_events=config.max_drain_events)
+    wall = time.perf_counter() - start
+    drained = kernel.pending == 0
+    if deployment.obs is not None:
+        deployment.obs.sink.close()
+
+    violations: list[str] = []
+    audited = 0
+    if config.audit:
+        violations, audited = audit_conservation(deployment, strict=drained)
+    if not drained:
+        violations.append(
+            f"run did not quiesce within {config.max_drain_events} drain events"
+        )
+
+    hosts = deployment.hosts
+    result = ScaleResult(
+        config=config,
+        entities=config.entities,
+        submitted=sum(driver.submitted for driver in deployment.drivers),
+        committed=sum(host.table.total("committed") for host in hosts),
+        rejected=sum(host.table.total("rejected") for host in hosts),
+        queued_unresolved=sum(host.queued_requests() for host in hosts),
+        failed=sum(driver.failed for driver in deployment.drivers),
+        skipped=sum(driver.skipped for driver in deployment.drivers),
+        acquired_tokens=sum(host.table.total("acquired") for host in hosts),
+        released_tokens=sum(host.table.total("released") for host in hosts),
+        rounds_triggered=sum(host.rounds_triggered for host in hosts),
+        rounds_applied=sum(host.rounds_applied for host in hosts),
+        protocol_instances=sum(host.protocol_count() for host in hosts),
+        directory_lookups=deployment.directory.lookups,
+        wire_sent=deployment.network.messages_sent,
+        wire_delivered=deployment.network.messages_delivered,
+        wire_dropped=deployment.network.messages_dropped,
+        dedup_evictions=sum(
+            host.stats()["dedup_evictions"] for host in hosts
+        ),
+        batching=(
+            deployment.batching.stats() if deployment.batching is not None else None
+        ),
+        sim_time=kernel.now,
+        events_fired=kernel.events_fired,
+        wall_seconds=wall,
+        drained=drained,
+        audited=audited,
+        violations=violations,
+    )
+    if keep_deployment:
+        return result, deployment
+    return result
+
+
+def per_entity_committed(deployment: ScaleDeployment):
+    """Per-entity commit counts summed across hosts (parity-test probe).
+
+    Returns a numpy int64 array when numpy is available, else a list.
+    """
+    hosts = deployment.hosts
+    first = hosts[0].table.as_numpy("committed")
+    if first is not None:
+        total = first.astype(_np.int64, copy=True)
+        for host in hosts[1:]:
+            total += host.table.as_numpy("committed")
+        return total
+    totals = list(hosts[0].table.committed)
+    for host in hosts[1:]:
+        for row, value in enumerate(host.table.committed):
+            totals[row] += value
+    return totals
+
+
+def _point_trace_path(path: str, count: int) -> str:
+    """``trace.jsonl.gz`` -> ``trace-10000.jsonl.gz`` for multi-point sweeps."""
+    directory, _, filename = path.rpartition("/")
+    stem, dot, suffixes = filename.partition(".")
+    filename = f"{stem}-{count}{dot}{suffixes}"
+    return f"{directory}/{filename}" if directory else filename
+
+
+def sweep_scale(
+    entity_counts: Sequence[int], base: ScaleConfig
+) -> list[ScaleResult]:
+    """Run one point per entity count, holding everything else fixed.
+
+    With a ``trace_path`` and more than one point, each point writes its
+    own file (entity count spliced into the name) instead of the last
+    run overwriting the rest.
+    """
+    results: list[ScaleResult] = []
+    for count in entity_counts:
+        config = dataclasses.replace(base, entities=count)
+        if base.trace_path is not None and len(entity_counts) > 1:
+            config = dataclasses.replace(
+                config, trace_path=_point_trace_path(base.trace_path, count)
+            )
+        results.append(run_scale(config))
+    return results

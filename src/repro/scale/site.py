@@ -1,0 +1,465 @@
+"""A scale site: one actor hosting every entity of a region.
+
+``core/site.py`` models one entity per site with full fidelity — WAL,
+service-time queueing, prediction, reads.  At 10^5-10^6 entities, one
+actor per (entity, region) is exactly the per-object overhead the scale
+subsystem exists to remove.  :class:`ScaleSiteHost` flips the layout:
+
+* Token state for *all* hosted entities lives in one
+  :class:`~repro.scale.entity_table.EntityTable` (contiguous columns).
+* Client requests are **local calls** (:meth:`submit`), not messages —
+  the workload driver colocates with the host, so the per-request cost
+  is a dict probe plus a few array ops, which is what lets one process
+  push millions of simulated requests through a sweep point.
+* Per-entity Avantan protocol instances are created **lazily**, only
+  when an entity first participates in a redistribution, behind a
+  :class:`_EntityProtocolHost` adapter implementing the
+  :class:`~repro.core.avantan.base.AvantanHost` surface.  The protocol
+  code is byte-for-byte the single-entity implementation.  Instances are
+  **never evicted**: a late or duplicated ``DecisionMsg`` for an old
+  round must find the instance's ``applied`` value-id set, or it would
+  re-apply a stale allocation; the instance footprint is proportional to
+  entities that ever redistributed, not to all entities.
+* Cross-site protocol traffic is wrapped in
+  :class:`~repro.scale.batching.EntityScoped` for dispatch and rides the
+  (usually batching) transport.
+
+Documented simplifications versus ``SamyaSite``, all scale-immaterial:
+no per-message service-time queueing (zero service time), no prediction
+module (redistributions are reactive), no WAL (the in-memory table is
+treated as stable storage — a recovered host resumes with the state it
+crashed with, the same outcome a perfect WAL replay produces), and no
+read transactions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.avantan.majority import AvantanMajority
+from repro.core.entity import SiteTokenState, TokenError
+from repro.core.reallocation import redistribute_tokens
+from repro.net.message import EnvelopeDedup, Message
+from repro.net.regions import Region
+from repro.net.transport import Clock, Transport
+from repro.scale.batching import EntityScoped
+from repro.scale.entity_table import EntityTable
+from repro.sim.process import Actor
+
+
+@dataclass
+class ScaleSiteConfig:
+    """Behaviour knobs for scale hosts (a slim SamyaConfig)."""
+
+    election_timeout: float = 0.8
+    cohort_timeout: float = 2.0
+    blocked_retry_interval: float = 2.0
+    #: Minimum gap between reactive triggers for one entity.
+    reactive_cooldown: float = 0.5
+    #: How many redistribution rounds a queued acquire may wait through
+    #: before it is rejected (bounds retries when the cluster is
+    #: genuinely out of tokens).
+    max_round_waits: int = 6
+    #: Queue capacity per entity; overflow rejects immediately.
+    max_queue: int = 1024
+    redistribute: bool = True
+    #: Envelope-dedup window (see ``repro.net.message.EnvelopeDedup``).
+    msg_dedup_window: int = 1 << 16
+
+
+class _EntityProtocolHost:
+    """AvantanHost adapter: one entity's protocol view of a scale host."""
+
+    __slots__ = (
+        "site", "entity_id", "row", "protocol", "last_trigger_at",
+        "pledge", "pledge_amount",
+    )
+
+    def __init__(self, site: "ScaleSiteHost", entity_id: str, row: int) -> None:
+        self.site = site
+        self.entity_id = entity_id
+        self.row = row
+        self.last_trigger_at = float("-inf")
+        #: Ballot of the oldest *unresolved pledge*: we answered a foreign
+        #: election with our InitVal, so those tokens may be pooled in a
+        #: value we have not seen decide or die.  Until resolved, this
+        #: site must not serve from the pledged balance — under message
+        #: loss the pledged round can decide without us, grant our tokens
+        #: away, and only tell us later (the conservation race the fault
+        #: tests pin).  Resolution: we apply a value that includes us, or
+        #: we see the pledged ballot's own decided value; a round that
+        #: ends any other way re-elects instead of draining (see
+        #: ``on_protocol_idle``).
+        self.pledge = None
+        self.pledge_amount = 0
+        self.protocol = AvantanMajority(self, site.peers)
+        self.protocol.configure_timeouts(
+            site.config.election_timeout,
+            site.config.cohort_timeout,
+            site.config.blocked_retry_interval,
+        )
+
+    # -- identity / time ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.site.name
+
+    @property
+    def now(self) -> float:
+        return self.site.now
+
+    # Deliberately no ``obs``: per-phase protocol spans at 10^5 entities
+    # would swamp any trace.  Message-level telemetry still flows from
+    # the transport.
+
+    # -- AvantanHost callbacks ----------------------------------------------
+
+    def snapshot_init_val(self) -> SiteTokenState:
+        table = self.site.table
+        deficit = self.site.queued_deficit(self.entity_id, self.row)
+        table.tokens_wanted[self.row] = deficit
+        ballot = self.protocol.state.ballot_num
+        if ballot.site_id != self.site.name and self.pledge is None:
+            # Responding to a *foreign* election: the snapshot we return
+            # may end up pooled in that leader's value.  Remember the
+            # oldest such outstanding pledge (a later one pools the same
+            # frozen balance, so tracking the first suffices).
+            self.pledge = ballot
+            self.pledge_amount = table.tokens_left[self.row]
+        return SiteTokenState(
+            self.site.name,
+            self.entity_id,
+            table.tokens_left[self.row],
+            deficit,
+        )
+
+    def apply_redistribution(self, value) -> None:
+        if self.pledge is not None and (
+            value.value_id == self.pledge
+            or value.state_of(self.site.name) is not None
+        ):
+            # The pledged round's own value arrived (with or without us),
+            # or a newer value pooled us — which, by the leader-side stale
+            # -participant resolution, implies every older decided value
+            # of ours reached us first.  Either way the pledge is settled.
+            self.pledge = None
+            self.pledge_amount = 0
+        state = self.protocol.state
+        if value.value_id in state.applied:
+            return
+        state.applied.add(value.value_id)
+        if len(state.applied) > 256:
+            state.applied.discard(min(state.applied))
+        state.remember_applied_value(value)
+        mine = value.state_of(self.site.name)
+        if mine is None:
+            return
+        granted = redistribute_tokens(list(value.states))
+        table = self.site.table
+        # Delta form, as in SamyaSite.apply_redistribution: the grant
+        # replaces the pooled contribution but keeps releases earned in
+        # degraded mode since pooling.
+        surplus = table.tokens_left[self.row] - mine.tokens_left
+        if surplus < 0:
+            raise TokenError(
+                f"{self.site.name}/{self.entity_id} spent below its pooled "
+                f"contribution ({table.tokens_left[self.row]} < "
+                f"{mine.tokens_left}) — reserve accounting is broken"
+            )
+        table.tokens_left[self.row] = granted[self.site.name] + surplus
+        table.tokens_wanted[self.row] = 0
+        self.site.rounds_applied += 1
+
+    def on_protocol_idle(self) -> None:
+        if self.pledge is not None:
+            # The round that just ended did not settle our outstanding
+            # pledge (e.g. a higher-ballot value decided without us while
+            # the pledged round's decision is still in flight).  Serving
+            # now could spend tokens the pledged round has concurrently
+            # granted away — re-elect instead: the election's recovery
+            # exchange either surfaces the pledged round's decided value
+            # or pools our tokens into a fresh value that includes us.
+            self.site._recover_pledge(self)
+            return
+        self.site._drain(self.entity_id, self.row, degraded=False)
+
+    def on_protocol_degraded(self) -> None:
+        self.site._drain(self.entity_id, self.row, degraded=True)
+
+    def protocol_send(self, dst: str, payload: Any) -> None:
+        self.site.network.send(
+            self.site.name, dst, EntityScoped(self.entity_id, payload)
+        )
+
+    def protocol_timer(self, callback):
+        return self.site.timer(callback)
+
+    def protocol_rng(self):
+        return self.site.rng()
+
+    def persist_protocol(self, state) -> None:
+        # The in-memory protocol state doubles as the stable store (see
+        # module docstring); nothing to write.
+        return
+
+    # -- reserve accounting --------------------------------------------------
+
+    def reserved_tokens(self) -> int:
+        """Tokens pooled in an unresolved round (cf. SamyaSite)."""
+        pledged = self.pledge_amount if self.pledge is not None else 0
+        if not self.protocol.active:
+            # Normally unreachable while pledged (idle immediately
+            # re-elects), but a crashed-then-recovering host can be
+            # momentarily inactive: keep the pledge frozen regardless.
+            return pledged
+        state = self.protocol.state
+        reserved = pledged
+        if state.init_val is not None:
+            reserved = max(reserved, state.init_val.tokens_left)
+        if state.accept_val is not None:
+            mine = state.accept_val.state_of(self.site.name)
+            if mine is not None:
+                reserved = max(reserved, mine.tokens_left)
+        return reserved
+
+
+class ScaleSiteHost(Actor):
+    """All of one region's entities behind a single endpoint."""
+
+    def __init__(
+        self,
+        kernel: Clock,
+        name: str,
+        region: Region,
+        network: Transport,
+        config: ScaleSiteConfig | None = None,
+    ) -> None:
+        super().__init__(kernel, name)
+        self.region = region
+        self.network = network
+        self.config = config or ScaleSiteConfig()
+        self.table = EntityTable()
+        self.peers: list[str] = []
+        #: entity_id -> adapter; populated lazily, never evicted.
+        self._protocols: dict[str, _EntityProtocolHost] = {}
+        #: entity_id -> queued acquires [amount, rounds_waited].
+        self._pending: dict[str, deque[list[int]]] = {}
+        #: entity ids with a deferred (cooldown-parked) retrigger.
+        self._deferred: set[str] = set()
+        self._envelopes = EnvelopeDedup(self.config.msg_dedup_window)
+        self.rounds_triggered = 0
+        self.rounds_applied = 0
+        self.unknown_entity = 0
+        self.pledge_recoveries = 0
+        network.attach(self, region)
+
+    # -- wiring --------------------------------------------------------------
+
+    def connect(self, host_names: list[str]) -> None:
+        self.peers = [peer for peer in host_names if peer != self.name]
+
+    def add_entity(self, entity_id: str, initial_tokens: int) -> int:
+        return self.table.add(entity_id, initial_tokens)
+
+    def protocol_for(self, entity_id: str) -> _EntityProtocolHost:
+        adapter = self._protocols.get(entity_id)
+        if adapter is None:
+            adapter = _EntityProtocolHost(
+                self, entity_id, self.table.index_of(entity_id)
+            )
+            self._protocols[entity_id] = adapter
+        return adapter
+
+    # -- message entry --------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if self.crashed:
+            return
+        if self._envelopes.seen(message.msg_id):
+            return  # duplicated envelope (fault layer / retransmission)
+        payload = message.payload
+        if isinstance(payload, EntityScoped):
+            if payload.entity_id not in self.table:
+                self.unknown_entity += 1
+                return
+            adapter = self.protocol_for(payload.entity_id)
+            adapter.protocol.handle(payload.payload, message.src)
+
+    # -- the request path ------------------------------------------------------
+
+    def submit(self, entity_id: str, acquire: bool, amount: int) -> str:
+        """Serve one client request locally.
+
+        Returns ``"committed"``, ``"rejected"``, ``"queued"`` (an
+        acquire parked behind a redistribution), or ``"unknown"``.
+        """
+        row = self.table.get(entity_id)
+        if row is None:
+            self.unknown_entity += 1
+            return "unknown"
+        table = self.table
+        if not acquire:
+            table.tokens_left[row] += amount
+            table.released[row] += amount
+            table.committed[row] += 1
+            return "committed"
+        adapter = self._protocols.get(entity_id)
+        active = adapter is not None and adapter.protocol.active
+        if active and not adapter.protocol.degraded:
+            # §4.3: requests queue while the entity's round is in flight.
+            return self._enqueue(entity_id, row, amount)
+        reserved = adapter.reserved_tokens() if adapter is not None else 0
+        if 0 < amount <= table.tokens_left[row] - reserved:
+            table.tokens_left[row] -= amount
+            table.acquired[row] += amount
+            table.committed[row] += 1
+            return "committed"
+        if not self.config.redistribute or (active and adapter.protocol.degraded):
+            table.rejected[row] += 1
+            return "rejected"
+        status = self._enqueue(entity_id, row, amount)
+        if status == "queued":
+            self._maybe_trigger(entity_id, row)
+        return status
+
+    def _enqueue(self, entity_id: str, row: int, amount: int) -> str:
+        queue = self._pending.get(entity_id)
+        if queue is None:
+            queue = deque()
+            self._pending[entity_id] = queue
+        if len(queue) >= self.config.max_queue:
+            self.table.rejected[row] += 1
+            return "rejected"
+        queue.append([amount, 0])
+        return "queued"
+
+    def queued_deficit(self, entity_id: str, row: int) -> int:
+        """Tokens the queue needs beyond the local balance (Eq. 5,
+        generalized to the whole queue as the non-literal SamyaSite
+        mode does)."""
+        queue = self._pending.get(entity_id)
+        if not queue:
+            return 0
+        demand = sum(item[0] for item in queue)
+        return max(0, demand - self.table.tokens_left[row])
+
+    # -- triggers and drains ----------------------------------------------------
+
+    def _maybe_trigger(self, entity_id: str, row: int) -> None:
+        adapter = self.protocol_for(entity_id)
+        if adapter.protocol.active:
+            return
+        wait = adapter.last_trigger_at + self.config.reactive_cooldown - self.now
+        if wait > 0:
+            if entity_id not in self._deferred:
+                self._deferred.add(entity_id)
+                self.after(wait, self._deferred_trigger, entity_id, row)
+            return
+        adapter.last_trigger_at = self.now
+        if adapter.protocol.trigger():
+            self.rounds_triggered += 1
+
+    def _deferred_trigger(self, entity_id: str, row: int) -> None:
+        self._deferred.discard(entity_id)
+        if self.queued_deficit(entity_id, row) > 0 or self._pending.get(entity_id):
+            self._maybe_trigger(entity_id, row)
+
+    def _recover_pledge(self, adapter: _EntityProtocolHost) -> None:
+        """Re-elect (bypassing the reactive cooldown) to resolve an
+        outstanding pledge before the entity's queue may drain — see
+        ``_EntityProtocolHost.pledge``."""
+        self.pledge_recoveries += 1
+        adapter.last_trigger_at = self.now
+        if adapter.protocol.trigger():
+            self.rounds_triggered += 1
+
+    def _drain(self, entity_id: str, row: int, degraded: bool) -> None:
+        """Answer the entity's queue after a round ends (or blocks).
+
+        Unservable acquires re-queue for the next round up to
+        ``max_round_waits`` rounds — with bounded patience every queued
+        request eventually commits when the cluster has the tokens, and
+        is rejected when it provably does not.  A *degraded* drain
+        serves what the unreserved balance allows and rejects nothing:
+        the blocked round may still complete after a heal.
+        """
+        queue = self._pending.get(entity_id)
+        if not queue:
+            return
+        table = self.table
+        adapter = self._protocols[entity_id]
+        keep: deque[list[int]] = deque()
+        reserved = adapter.reserved_tokens() if degraded else 0
+        while queue:
+            item = queue.popleft()
+            amount, waits = item
+            if 0 < amount <= table.tokens_left[row] - reserved:
+                table.tokens_left[row] -= amount
+                table.acquired[row] += amount
+                table.committed[row] += 1
+            elif degraded:
+                keep.append(item)
+            elif waits + 1 < self.config.max_round_waits:
+                item[1] = waits + 1
+                keep.append(item)
+            else:
+                table.rejected[row] += 1
+        if keep:
+            self._pending[entity_id] = keep
+            if not degraded:
+                self._maybe_trigger(entity_id, row)
+        else:
+            self._pending.pop(entity_id, None)
+
+    # -- crash / recovery --------------------------------------------------------
+
+    def crash(self) -> None:
+        super().crash()
+        for adapter in self._protocols.values():
+            adapter.protocol.on_crash()
+        # Volatile state evaporates; the table (modeled stable storage)
+        # and protocol states survive.
+        for entity_id, queue in self._pending.items():
+            row = self.table.index_of(entity_id)
+            self.table.rejected[row] += len(queue)
+        self._pending.clear()
+        self._deferred.clear()
+
+    def recover(self) -> None:
+        super().recover()
+        for adapter in self._protocols.values():
+            adapter.protocol.on_recover(adapter.protocol.state)
+        for adapter in self._protocols.values():
+            if adapter.pledge is not None and not adapter.protocol.active:
+                self._recover_pledge(adapter)
+
+    # -- introspection -------------------------------------------------------------
+
+    def active_rounds(self) -> list[str]:
+        """Entity ids with a protocol round in flight on this host."""
+        return [
+            entity_id
+            for entity_id, adapter in self._protocols.items()
+            if adapter.protocol.active
+        ]
+
+    def protocol_count(self) -> int:
+        return len(self._protocols)
+
+    def queued_requests(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entities": len(self.table),
+            "protocols": len(self._protocols),
+            "rounds_triggered": self.rounds_triggered,
+            "rounds_applied": self.rounds_applied,
+            "queued": self.queued_requests(),
+            "unknown_entity": self.unknown_entity,
+            "dedup_evictions": self._envelopes.evictions,
+            "pledge_recoveries": self.pledge_recoveries,
+        }

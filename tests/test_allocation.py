@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.cluster import split_initial_allocation
 from repro.harness.experiment import ExperimentConfig, build_experiment, run_experiment
 from repro.net.regions import PAPER_REGIONS
 from repro.workload.allocation import historic_allocation, proportional_split
@@ -40,6 +41,31 @@ class TestProportionalSplit:
         assert sum(shares) == maximum
         assert all(share >= 0 for share in shares)
         assert len(shares) == len(weights)
+
+
+class TestSplitInitialAllocation:
+    def test_even_split_with_remainder_to_first_sites(self):
+        assert split_initial_allocation(10, 3) == [4, 3, 3]
+        assert split_initial_allocation(9, 3) == [3, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_initial_allocation(10, 0)
+        with pytest.raises(ValueError):
+            split_initial_allocation(-1, 3)
+
+    @settings(max_examples=200)
+    @given(
+        maximum=st.integers(0, 100_000),
+        sites=st.integers(1, 50),
+    )
+    def test_property_conserves_and_balances(self, maximum, sites):
+        shares = split_initial_allocation(maximum, sites)
+        assert len(shares) == sites
+        assert sum(shares) == maximum
+        assert all(share >= 0 for share in shares)
+        # No site is ever more than one token ahead of another.
+        assert max(shares) - min(shares) <= 1
 
 
 class TestHistoricAllocation:

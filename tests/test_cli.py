@@ -63,6 +63,33 @@ class TestCommands:
         assert "daily_autocorrelation" in out
 
 
+class TestSweepScale:
+    def test_small_sweep_prints_table_and_audits(self, capsys):
+        code = main([
+            "sweep-scale", "--entities", "50,100", "--duration", "5",
+            "--rate", "200", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scale sweep" in out
+        assert "events/s" in out
+        assert "conservation audit: clean" in out
+
+    def test_bad_entities_list_exits_two(self, capsys):
+        code = main(["sweep-scale", "--entities", "fifty"])
+        assert code == 2
+        assert "bad --entities" in capsys.readouterr().err
+
+    def test_trace_artifact_written(self, tmp_path, capsys):
+        path = tmp_path / "scale.jsonl.gz"
+        code = main([
+            "sweep-scale", "--entities", "50", "--duration", "3",
+            "--rate", "200", "--trace", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+
+
 class TestTelemetryTrace:
     def test_run_writes_trace_then_summarizes(self, tmp_path, capsys):
         path = tmp_path / "t.jsonl"

@@ -34,6 +34,8 @@ from repro.core.requests import (
 )
 from repro.net import codec
 from repro.net.message import Message
+from repro.scale import batching as scale_batching
+from repro.scale.batching import BatchEnvelope, BatchItem, EntityScoped
 from repro.storage.wal import LogEntry
 
 BALLOT = Ballot(3, "site-us-west1")
@@ -121,10 +123,21 @@ SAMPLES: dict[str, object] = {
     "TokenCommand": COMMAND,
     "BorrowRequest": BorrowRequest("VM", amount=6, borrow_id=2),
     "BorrowGrant": BorrowGrant("VM", amount=6, borrow_id=2),
+    "EntityScoped": EntityScoped("VM", core_messages.AcceptOk(BALLOT)),
+    "BatchItem": BatchItem(101, EntityScoped("VM", core_messages.AcceptOk(BALLOT))),
+    "BatchEnvelope": BatchEnvelope(
+        (
+            BatchItem(101, EntityScoped("VM", core_messages.AcceptOk(BALLOT))),
+            BatchItem(
+                102,
+                EntityScoped("disk-gb", core_messages.DecisionMsg(BALLOT, ACCEPT_VALUE)),
+            ),
+        )
+    ),
 }
 
 #: Every module that defines protocol dataclasses crossing the network.
-MESSAGE_MODULES = (core_messages, paxos_messages, raft_messages)
+MESSAGE_MODULES = (core_messages, paxos_messages, raft_messages, scale_batching)
 
 
 @pytest.mark.parametrize("name", sorted(codec.registered_dataclasses()))

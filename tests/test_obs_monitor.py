@@ -28,7 +28,7 @@ from repro.obs import (
     read_trace,
 )
 from repro.obs.exposition import CONTENT_TYPE, MetricsServer, render_prometheus
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import OVERFLOW_LABEL, Counter, MetricsRegistry
 from repro.obs.summary import fault_rows, invariant_rows
 from repro.sim.kernel import Kernel
 from repro.workload.trace import TraceConfig
@@ -292,6 +292,50 @@ class TestRegistry:
         assert 'h_bucket{le="1.0"} 2' in text
         assert 'h_bucket{le="+Inf"} 3' in text
         assert "h_count 3" in text
+
+    def test_label_cardinality_caps_at_overflow_cell(self):
+        registry = MetricsRegistry(max_label_values=3)
+        counter = registry.counter("per_entity_total", labelnames=("entity",))
+        for index in range(10):
+            counter.inc(f"e{index}")
+        # Three real cells plus the overflow bucket; totals stay exact.
+        assert len(counter.cells) == 4
+        assert counter.cells[(OVERFLOW_LABEL,)] == 7
+        assert sum(counter.cells.values()) == 10
+
+    def test_existing_cells_keep_updating_past_the_cap(self):
+        registry = MetricsRegistry(max_label_values=2)
+        counter = registry.counter("x_by_label", labelnames=("label",))
+        counter.inc("a")
+        counter.inc("b")
+        counter.inc("c")  # new combination: overflows
+        counter.inc("a")  # existing cell: still attributed exactly
+        assert counter.cells[("a",)] == 2
+        assert counter.cells[("b",)] == 1
+        assert counter.cells[(OVERFLOW_LABEL,)] == 1
+
+    def test_histograms_overflow_too(self):
+        registry = MetricsRegistry(max_label_values=1)
+        histogram = registry.histogram("h_by_node", labelnames=("node",))
+        histogram.observe("n0", value=0.5)
+        histogram.observe("n1", value=0.5)
+        assert histogram.count("n0") == 1
+        assert histogram.count(OVERFLOW_LABEL) == 1
+
+    def test_directly_constructed_instruments_are_unbounded(self):
+        counter = Counter("free", "", labelnames=("entity",))
+        for index in range(2000):
+            counter.inc(f"e{index}")
+        assert len(counter.cells) == 2000
+
+    def test_nonpositive_cap_rejected_and_none_disables(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_values=0)
+        registry = MetricsRegistry(max_label_values=None)
+        counter = registry.counter("unbounded_total", labelnames=("entity",))
+        for index in range(2000):
+            counter.inc(f"e{index}")
+        assert len(counter.cells) == 2000
 
 
 class TestExposition:

@@ -3,8 +3,40 @@
 from repro.core.client import Operation
 from repro.core.messages import ForwardedRequest
 from repro.core.requests import ClientRequest, RequestKind, RequestStatus
+from repro.net.message import EnvelopeDedup
 
 from tests.helpers import MiniCluster, acquire_burst
+
+
+class TestEnvelopeDedup:
+    def test_duplicates_within_window_are_seen(self):
+        dedup = EnvelopeDedup(limit=4)
+        assert not dedup.seen(1)
+        assert dedup.seen(1)
+        assert len(dedup) == 1
+        assert dedup.evictions == 0
+
+    def test_window_is_bounded_and_counts_evictions(self):
+        dedup = EnvelopeDedup(limit=3)
+        for msg_id in range(10):
+            dedup.seen(msg_id)
+        assert len(dedup) == 3
+        assert dedup.evictions == 7
+        # The oldest ids aged out: a retransmission past the window is
+        # no longer recognized — exactly the guarantee thinning the
+        # eviction counter exists to surface.
+        assert not dedup.seen(0)
+        assert dedup.seen(9)
+
+    def test_on_evict_hook_fires_with_running_total(self):
+        totals = []
+        dedup = EnvelopeDedup(limit=2, on_evict=totals.append)
+        for msg_id in range(5):
+            dedup.seen(msg_id)
+        assert totals == [1, 2, 3]
+
+    def test_default_window_is_2_to_the_16(self):
+        assert EnvelopeDedup().limit == 1 << 16
 
 
 class TestSiteDedup:

@@ -1,0 +1,236 @@
+"""Round batching: coalescing, transparent unpacking, and the pinned
+batched-versus-unbatched parity run.
+"""
+
+import pytest
+
+from repro.net.message import Message
+from repro.scale.batching import (
+    BatchEnvelope,
+    BatchingTransport,
+    _UnbatchProxy,
+)
+from repro.scale.harness import (
+    ScaleConfig,
+    per_entity_committed,
+    run_scale,
+)
+from repro.sim.kernel import Kernel
+
+
+class RecordingInner:
+    """Send-side stub: just records what reaches the wire."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, src, dst, payload):
+        self.sent.append((src, dst, payload))
+
+
+class RecordingEndpoint:
+    """Receive-side stub implementing the endpoint protocol."""
+
+    def __init__(self, name="site-b"):
+        self.name = name
+        self.crashed = False
+        self.messages = []
+
+    def on_message(self, message):
+        self.messages.append(message)
+
+
+class TestCoalescing:
+    def test_same_tick_same_link_sends_one_envelope(self):
+        kernel = Kernel(seed=0)
+        inner = RecordingInner()
+        transport = BatchingTransport(inner, kernel)
+        transport.send("a", "b", "p1")
+        transport.send("a", "b", "p2")
+        transport.send("a", "b", "p3")
+        assert inner.sent == []  # buffered until the flush event
+        kernel.run(max_events=10)
+        assert len(inner.sent) == 1
+        src, dst, envelope = inner.sent[0]
+        assert (src, dst) == ("a", "b")
+        assert isinstance(envelope, BatchEnvelope)
+        assert [item.payload for item in envelope.items] == ["p1", "p2", "p3"]
+        assert transport.stats() == {
+            "logical_sent": 3,
+            "batches_sent": 1,
+            "batched_payloads": 3,
+            "passthrough_sent": 0,
+            "batches_delivered": 0,
+        }
+
+    def test_single_payload_flushes_bare(self):
+        kernel = Kernel(seed=0)
+        inner = RecordingInner()
+        transport = BatchingTransport(inner, kernel)
+        transport.send("a", "b", "solo")
+        kernel.run(max_events=10)
+        assert inner.sent == [("a", "b", "solo")]
+        assert transport.passthrough_sent == 1
+        assert transport.batches_sent == 0
+
+    def test_links_buffer_independently(self):
+        kernel = Kernel(seed=0)
+        inner = RecordingInner()
+        transport = BatchingTransport(inner, kernel)
+        transport.send("a", "b", "ab1")
+        transport.send("a", "c", "ac1")
+        transport.send("a", "b", "ab2")
+        kernel.run(max_events=10)
+        # a->b coalesced, a->c went bare: one envelope + one payload.
+        assert len(inner.sent) == 2
+        by_dst = {dst: payload for _, dst, payload in inner.sent}
+        assert isinstance(by_dst["b"], BatchEnvelope)
+        assert by_dst["c"] == "ac1"
+
+    def test_later_ticks_start_new_batches(self):
+        kernel = Kernel(seed=0)
+        inner = RecordingInner()
+        transport = BatchingTransport(inner, kernel)
+        transport.send("a", "b", "t0-1")
+        transport.send("a", "b", "t0-2")
+        kernel.run(max_events=10)
+        kernel.schedule(1.0, transport.send, "a", "b", "t1-1")
+        kernel.schedule(1.0, transport.send, "a", "b", "t1-2")
+        kernel.run(max_events=10)
+        assert transport.batches_sent == 2
+        assert all(len(env.items) == 2 for _, _, env in inner.sent)
+
+    def test_broadcast_fans_out_through_send(self):
+        kernel = Kernel(seed=0)
+        inner = RecordingInner()
+        transport = BatchingTransport(inner, kernel)
+        transport.broadcast("a", ["b", "c"], "hello")
+        kernel.run(max_events=10)
+        assert transport.logical_sent == 2
+        assert transport.passthrough_sent == 2
+
+
+class TestUnpacking:
+    @staticmethod
+    def _envelope_message():
+        """A wire Message carrying a two-item envelope ("p1", "p2")."""
+        kernel = Kernel(seed=0)
+        inner = RecordingInner()
+        sender = BatchingTransport(inner, kernel)
+        sender.send("site-a", "site-b", "p1")
+        sender.send("site-a", "site-b", "p2")
+        kernel.run(max_events=10)
+        _, _, envelope = inner.sent[0]
+        return Message(
+            src="site-a", dst="site-b", payload=envelope,
+            sent_at=0.0, delivered_at=0.1, msg_id=999,
+        )
+
+    def test_envelope_unpacks_to_inner_messages_with_stored_ids(self):
+        transport = BatchingTransport(RecordingInner(), Kernel(seed=0))
+        message = self._envelope_message()
+        endpoint = RecordingEndpoint()
+        proxy = _UnbatchProxy(endpoint, transport)
+        proxy.on_message(message)
+        assert [m.payload for m in endpoint.messages] == ["p1", "p2"]
+        first_ids = [m.msg_id for m in endpoint.messages]
+        # Inner ids were minted at buffering time, not delivery time:
+        # re-delivering the same envelope (a modeled retransmission)
+        # reconstructs the *same* ids, which is what lets the receiver's
+        # EnvelopeDedup absorb duplicated batches.
+        proxy.on_message(message)
+        assert [m.msg_id for m in endpoint.messages] == first_ids * 2
+        assert transport.batches_delivered == 2
+
+    def test_non_envelope_payloads_pass_through(self):
+        kernel = Kernel(seed=0)
+        transport = BatchingTransport(RecordingInner(), kernel)
+        endpoint = RecordingEndpoint()
+        proxy = _UnbatchProxy(endpoint, transport)
+        bare = Message(src="a", dst="b", payload="plain", sent_at=0.0)
+        proxy.on_message(bare)
+        assert endpoint.messages == [bare]
+        assert transport.batches_delivered == 0
+
+    def test_unpack_stops_when_endpoint_crashes_mid_batch(self):
+        transport = BatchingTransport(RecordingInner(), Kernel(seed=0))
+
+        class CrashingEndpoint(RecordingEndpoint):
+            def on_message(self, message):
+                super().on_message(message)
+                self.crashed = True
+
+        endpoint = CrashingEndpoint()
+        proxy = _UnbatchProxy(endpoint, transport)
+        proxy.on_message(self._envelope_message())
+        assert [m.payload for m in endpoint.messages] == ["p1"]
+
+
+class TestBatchedRunParity:
+    """Acceptance pin: batching changes the wire, never the outcome."""
+
+    @staticmethod
+    def _config(batching: bool) -> ScaleConfig:
+        # Two regions: the majority quorum is *all* sites, so every
+        # round pools the full cluster and redistribution outcomes are
+        # independent of responder arrival order.  All tokens start at
+        # region 0 ("first") and every driver acquires up to exactly
+        # half the per-entity maximum, so global demand equals supply
+        # and every queued acquire must eventually commit.
+        return ScaleConfig(
+            entities=300,
+            regions=2,
+            maximum=30,
+            duration=10.0,
+            rate=600.0,
+            seed=7,
+            batching=batching,
+            acquire_fraction=1.0,
+            per_entity_budget=15,
+            hot_entities=64,
+            placement="first",
+        )
+
+    def test_batched_and_unbatched_outcomes_identical(self):
+        batched, batched_dep = run_scale(
+            self._config(True), keep_deployment=True
+        )
+        plain, plain_dep = run_scale(
+            self._config(False), keep_deployment=True
+        )
+        # Both runs are clean under the strict conservation audit.
+        assert batched.drained and plain.drained
+        assert batched.violations == [] and plain.violations == []
+        assert batched.audited == plain.audited == 300
+        # Identical audited outcomes, per entity, not just in aggregate.
+        batched_commits = list(per_entity_committed(batched_dep))
+        plain_commits = list(per_entity_committed(plain_dep))
+        assert batched_commits == plain_commits
+        assert batched.committed == plain.committed
+        assert batched.rejected == plain.rejected
+        # And batching genuinely coalesced: fewer wire envelopes for the
+        # same logical traffic.
+        assert batched.batching is not None
+        assert batched.batching["batches_sent"] > 0
+        assert plain.batching is None
+        assert batched.wire_sent < plain.wire_sent
+
+    def test_redistribution_moves_tokens_to_demand(self):
+        result = run_scale(self._config(True))
+        # All tokens start at region 0, so region 1's commits require
+        # redistribution rounds to have moved tokens — and with demand
+        # equal to supply almost everything is served (a small tail
+        # exhausts its bounded queue patience, max_round_waits).
+        assert result.rounds_applied > 0
+        assert result.queued_unresolved == 0
+        assert result.committed > 10 * result.rejected
+
+
+def test_scale_smoke_three_regions():
+    result = run_scale(
+        ScaleConfig(entities=50, regions=3, duration=5.0, rate=200.0, seed=3)
+    )
+    assert result.submitted > 0
+    assert result.committed > 0
+    assert result.drained
+    assert result.violations == []

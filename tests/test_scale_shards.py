@@ -1,0 +1,110 @@
+"""Sharded entity directory: stable placement, O(1) routing, lifecycle."""
+
+import pytest
+
+from repro.core.directory import EntityDirectory
+from repro.scale.shards import DirectoryShard, ShardMap, ShardedEntityDirectory
+
+
+class TestShardMap:
+    def test_placement_is_stable_across_instances(self):
+        # crc32, not the salted builtin hash: two maps (or two processes)
+        # must agree on every placement.
+        a, b = ShardMap(64), ShardMap(64)
+        for index in range(500):
+            entity_id = f"e{index}"
+            assert a.shard_of(entity_id) == b.shard_of(entity_id)
+
+    def test_placement_pinned_cross_process(self):
+        # Pin one concrete value: if this ever changes, persisted shard
+        # assignments (and the sim's replay determinism) break.
+        assert ShardMap(64).shard_of("e0") == 49
+
+    def test_placement_in_range(self):
+        shard_map = ShardMap(7)
+        for index in range(200):
+            assert 0 <= shard_map.shard_of(f"e{index}") < 7
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+
+class TestShardedDirectory:
+    def test_register_and_lookup(self):
+        directory = ShardedEntityDirectory(n_shards=8)
+        directory.register("VM", ("a", "b"))
+        assert directory.lookup("VM") == ("a", "b")
+        assert "VM" in directory
+        assert len(directory) == 1
+
+    def test_duplicate_registration_rejected(self):
+        directory = ShardedEntityDirectory()
+        directory.register("VM", 1)
+        with pytest.raises(ValueError):
+            directory.register("VM", 2)
+
+    def test_lookup_miss_returns_none_and_counts(self):
+        directory = ShardedEntityDirectory()
+        assert directory.lookup("ghost") is None
+        directory.register("VM", 1)
+        directory.lookup("VM")
+        assert directory.lookups == 2
+
+    def test_unregister_is_idempotent(self):
+        directory = ShardedEntityDirectory()
+        directory.register("VM", 1)
+        directory.unregister("VM")
+        directory.unregister("VM")
+        assert "VM" not in directory
+        assert len(directory) == 0
+        # The id can be reused after unregistration.
+        directory.register("VM", 2)
+        assert directory.lookup("VM") == 2
+
+    def test_shard_sizes_partition_the_id_space(self):
+        directory = ShardedEntityDirectory(n_shards=16)
+        for index in range(1000):
+            directory.register(f"e{index}", index)
+        sizes = directory.shard_sizes()
+        assert len(sizes) == 16
+        assert sum(sizes) == 1000 == len(directory)
+        # crc32 spreads sequential ids well enough that no shard is
+        # empty and none hogs the keyspace.
+        assert min(sizes) > 0
+        assert max(sizes) < 4 * (1000 // 16)
+
+    def test_entities_sorted_and_items_complete(self):
+        directory = ShardedEntityDirectory(n_shards=4)
+        ids = [f"e{index}" for index in range(50)]
+        for entity_id in ids:
+            directory.register(entity_id, entity_id.upper())
+        assert directory.entities() == sorted(ids)
+        assert dict(directory.items()) == {i: i.upper() for i in ids}
+
+    def test_shard_accessors(self):
+        directory = ShardedEntityDirectory(n_shards=4)
+        directory.register("VM", 1)
+        owner = directory.shard_map.shard_of("VM")
+        assert isinstance(directory.shard(owner), DirectoryShard)
+        assert "VM" in directory.shard(owner).records
+        assert sum(len(shard) for shard in directory.shards()) == 1
+
+
+class TestCoreDirectoryDelegation:
+    """core.directory.EntityDirectory kept its flat-map API on shards."""
+
+    def test_register_lookup_entities(self):
+        directory = EntityDirectory()
+        directory.register("VM", "routing-a")
+        directory.register("disk-gb", "routing-b")
+        assert directory.lookup("VM") == "routing-a"
+        assert directory.lookup("nope") is None
+        assert directory.entities() == ["VM", "disk-gb"]
+
+    def test_lookup_counter_delegates(self):
+        directory = EntityDirectory()
+        directory.register("VM", "r")
+        directory.lookup("VM")
+        directory.lookup("VM")
+        assert directory.lookups == 2
