@@ -48,6 +48,7 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         loss_probability=args.loss,
         trace_path=getattr(args, "trace", None),
         audit=getattr(args, "audit", False),
+        perf=getattr(args, "perf", False),
     )
 
 
@@ -66,6 +67,31 @@ def _result_rows(result) -> list[list[object]]:
         ["redistributions", result.redistributions.get("triggered", "-")],
         ["conservation audits", result.invariant_checks],
     ]
+
+
+def _report_perf(result, enabled: bool) -> None:
+    """Print the wall-clock perf histogram table for a --perf run."""
+    if not enabled or not result.perf_snapshot:
+        return
+    rows = [
+        [
+            name,
+            cell["count"],
+            f"{cell['mean_ms']:.4f}",
+            f"{cell['p50_ms']:.4f}",
+            f"{cell['p95_ms']:.4f}",
+            f"{cell['max_ms']:.4f}",
+        ]
+        for name, cell in sorted(result.perf_snapshot.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["instrument", "count", "mean ms", "p50 ms", "p95 ms", "max ms"],
+            rows,
+            title="wall-clock perf histograms",
+        )
+    )
 
 
 def _report_audit(result, enabled: bool) -> int:
@@ -99,6 +125,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         samples = [(t, v) for t, v in result.throughput_series if int(t) % 10 == 0]
         print()
         print(format_series(samples, title="throughput", x_label="t (s)", y_label="tps"))
+    _report_perf(result, args.perf)
     return _report_audit(result, args.audit)
 
 
@@ -131,6 +158,7 @@ def cmd_live(args: argparse.Namespace) -> int:
             title="live-run health",
         )
     )
+    _report_perf(report.result, args.perf)
     return _report_audit(report.result, args.audit)
 
 
@@ -199,44 +227,69 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _summarize_trace_file(path: str, validate: bool, audit: bool) -> int:
+def _summarize_trace_file(
+    path: str,
+    validate: bool,
+    audit: bool,
+    critical_path: bool = False,
+    max_requests: int = 50,
+) -> int:
+    """Each pass streams the file (``iter_trace``) — a 100k-entity scale
+    trace never materializes as a list, whatever its size."""
     from repro.obs import (
         SCHEMA,
+        analyze_critical_paths,
         audit_events,
         format_audit_report,
+        format_critical_path_report,
         format_trace_summary,
-        read_trace,
-        validate_events,
+        iter_trace,
+        validate_event,
     )
 
     try:
-        events = read_trace(path)
+        if validate:
+            errors: list[str] = []
+            count = 0
+            for index, event in enumerate(iter_trace(path)):
+                count += 1
+                errors.extend(
+                    f"event {index}: {error}" for error in validate_event(event)
+                )
+            if errors:
+                for error in errors[:20]:
+                    print(error, file=sys.stderr)
+                print(f"{len(errors)} schema error(s) in {path}", file=sys.stderr)
+                return 1
+            print(f"validated {count} events against {SCHEMA}")
+            print()
+        print(format_trace_summary(iter_trace(path), source=path))
+        if critical_path:
+            report = analyze_critical_paths(
+                iter_trace(path), max_requests=max_requests
+            )
+            print()
+            print(format_critical_path_report(report))
+        if audit:
+            auditor = audit_events(iter_trace(path))
+            print()
+            print(format_audit_report(auditor))
+            if not auditor.ok:
+                return 1
     except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    if validate:
-        errors = validate_events(events)
-        if errors:
-            for error in errors[:20]:
-                print(error, file=sys.stderr)
-            print(f"{len(errors)} schema error(s) in {path}", file=sys.stderr)
-            return 1
-        print(f"validated {len(events)} events against {SCHEMA}")
-        print()
-    print(format_trace_summary(events, source=path))
-    if audit:
-        auditor = audit_events(events)
-        print()
-        print(format_audit_report(auditor))
-        if not auditor.ok:
-            return 1
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_file is not None:
         return _summarize_trace_file(
-            args.trace_file, validate=args.validate, audit=args.audit
+            args.trace_file,
+            validate=args.validate,
+            audit=args.audit,
+            critical_path=args.critical_path,
+            max_requests=args.max_requests,
         )
     trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
     stats = trace.demand_stats()
@@ -440,21 +493,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if not files:
             print("selection maps to no bench files", file=sys.stderr)
             return 2
-        env = dict(os.environ)
-        env["BENCH_OUT_DIR"] = str(artifacts_dir)
-        src = Path(__file__).resolve().parents[1]
-        env["PYTHONPATH"] = os.pathsep.join(
-            part for part in (str(src), env.get("PYTHONPATH")) if part
-        )
-        command = [
-            sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
-            *[str(path) for path in files],
-        ]
         print(f"running {len(files)} bench file(s) -> {artifacts_dir}")
-        proc = subprocess.run(command, env=env)
-        if proc.returncode != 0:
+        if os.environ.get("REPRO_BENCH_INPROCESS"):
+            # `repro profile bench` path: the sampler lives in this
+            # process, so the suite must too.
+            import pytest
+
+            os.environ["BENCH_OUT_DIR"] = str(artifacts_dir)
+            returncode = int(
+                pytest.main(
+                    ["-q", "-p", "no:cacheprovider", *[str(p) for p in files]]
+                )
+            )
+        else:
+            env = dict(os.environ)
+            env["BENCH_OUT_DIR"] = str(artifacts_dir)
+            src = Path(__file__).resolve().parents[1]
+            env["PYTHONPATH"] = os.pathsep.join(
+                part for part in (str(src), env.get("PYTHONPATH")) if part
+            )
+            command = [
+                sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+                *[str(path) for path in files],
+            ]
+            returncode = subprocess.run(command, env=env).returncode
+        if returncode != 0:
             print(
-                f"benchmark run failed (pytest exit {proc.returncode})",
+                f"benchmark run failed (pytest exit {returncode})",
                 file=sys.stderr,
             )
             return 1
@@ -475,6 +540,88 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if any(finding.fatal for finding in findings) else 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run any repro subcommand under the wall-clock stack sampler.
+
+    The inner command runs **in this process** so the sampler sees its
+    stacks; ``repro profile bench`` additionally flips the bench suite
+    to in-process pytest for the same reason.  With ``--events`` a
+    deterministic event profiler is attached to every sim kernel the
+    inner command builds.
+    """
+    import os
+
+    from repro.obs import prof
+
+    inner = list(args.cmd)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        print(
+            "profile: name a repro subcommand to profile, e.g. "
+            "`repro profile run --duration 20` or `repro profile bench`",
+            file=sys.stderr,
+        )
+        return 2
+    if inner[0] == "profile":
+        print("profile: cannot profile itself", file=sys.stderr)
+        return 2
+
+    event_profiler = None
+    if args.events:
+        event_profiler = prof.EventProfiler()
+        prof.set_active(event_profiler)
+    bench_inner = inner[0] == "bench"
+    if bench_inner:
+        os.environ["REPRO_BENCH_INPROCESS"] = "1"
+    sampler = prof.StackSampler(interval=args.interval / 1000.0)
+    sampler.start()
+    try:
+        code = main(inner)
+    except SystemExit as exc:  # argparse errors in the inner command
+        code = int(exc.code or 0)
+    finally:
+        sampler.stop()
+        prof.set_active(None)
+        if bench_inner:
+            os.environ.pop("REPRO_BENCH_INPROCESS", None)
+
+    samples = sampler.write_collapsed(args.out)
+    print(f"\nwall-clock profile: {samples} samples -> {args.out}")
+    print("render with: flamegraph.pl (or speedscope/inferno) on that file")
+    top = sampler.top_rows()
+    if top:
+        print()
+        print(
+            format_table(
+                ["frame", "samples", "share"],
+                top,
+                title=f"hottest frames ({args.interval:.0f} ms sampling period)",
+            )
+        )
+    if event_profiler is not None and event_profiler.events:
+        print()
+        print(
+            format_table(
+                ["callback", "events", "share", "wall ms", "wall share"],
+                event_profiler.rows(),
+                title=(
+                    f"sim event profile — {event_profiler.events} events "
+                    "(counts are seed-deterministic)"
+                ),
+            )
+        )
+        if args.events_out:
+            from pathlib import Path
+
+            Path(args.events_out).write_text(
+                "\n".join(event_profiler.collapsed_lines()) + "\n",
+                encoding="utf-8",
+            )
+            print(f"event profile -> {args.events_out}")
+    return code
+
+
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=120.0,
                         help="simulated seconds of load (default 120)")
@@ -493,6 +640,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--audit", action="store_true",
                         help="run the online invariant auditor against the "
                              "run's event stream; violations exit non-zero")
+    parser.add_argument("--perf", action="store_true",
+                        help="record wall-clock perf histograms (kernel "
+                             "dispatch, per-phase spans; plus transport/codec "
+                             "timing on live runs) and print them")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,9 +711,46 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--audit", action="store_true",
                               help="run the invariant auditor offline over "
                                    "the trace; violations exit non-zero")
+    trace_parser.add_argument("--critical-path", action="store_true",
+                              help="reconstruct sampled request flows and "
+                                   "attribute their latency to protocol "
+                                   "phases and inter-region links")
+    trace_parser.add_argument("--max-requests", type=int, default=50,
+                              metavar="N",
+                              help="request flows to sample for "
+                                   "--critical-path (default 50)")
     trace_parser.add_argument("--days", type=float, default=7.0)
     trace_parser.add_argument("--seed", type=int, default=7)
     trace_parser.set_defaults(func=cmd_trace)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run any repro subcommand under the sampling profiler and "
+             "write a collapsed-stack flamegraph profile",
+    )
+    profile_parser.add_argument(
+        "--out", default="profile.collapsed", metavar="PATH",
+        help="collapsed-stack output file (default profile.collapsed)",
+    )
+    profile_parser.add_argument(
+        "--interval", type=float, default=5.0, metavar="MS",
+        help="sampling period in milliseconds (default 5)",
+    )
+    profile_parser.add_argument(
+        "--events", action="store_true",
+        help="also attach the deterministic per-callback event profiler "
+             "to every sim kernel the command builds",
+    )
+    profile_parser.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the event profile as collapsed single-frame stacks",
+    )
+    profile_parser.add_argument(
+        "cmd", nargs=argparse.REMAINDER, metavar="COMMAND",
+        help="the repro subcommand to profile, e.g. `bench` or "
+             "`run --duration 30`",
+    )
+    profile_parser.set_defaults(func=cmd_profile)
 
     nemesis_parser = sub.add_parser(
         "nemesis",

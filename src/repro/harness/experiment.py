@@ -34,8 +34,10 @@ from repro.metrics.latency import LatencySummary
 from repro.net.faults import CrashController
 from repro.net.network import Network, NetworkConfig
 from repro.net.regions import MULTIPAXSYS_REGIONS, PAPER_REGIONS, Region
+from repro.obs import prof
 from repro.obs.audit import InvariantAuditor
 from repro.obs.bus import EventBus, JsonlSink, NullSink, Sink
+from repro.obs.perf import PerfRecorder, PerfSpanTap
 from repro.obs.registry import MetricsRegistry, TraceMetricsFeed
 from repro.obs.schema import SCHEMA
 from repro.prediction.arima import ArimaPredictor
@@ -134,6 +136,10 @@ class ExperimentConfig:
     #: event stream; its snapshot lands in
     #: ``ExperimentResult.metrics_snapshot`` (and bench artifacts).
     metrics: bool = False
+    #: Record wall-clock perf histograms (repro.obs.perf): kernel
+    #: tick/heap-push timings plus per-phase span durations from the
+    #: event stream.  Snapshot lands in ``ExperimentResult.perf_snapshot``.
+    perf: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -180,6 +186,9 @@ class ExperimentResult:
     audit_violations: list[str] = field(default_factory=list)
     #: Point-in-time registry dump (config.metrics or any traced run).
     metrics_snapshot: dict[str, float] | None = None
+    #: Wall-clock perf histogram dump (config.perf): per instrument/key,
+    #: count + mean/p50/p95/p99/max ms (see PerfRecorder.snapshot).
+    perf_snapshot: dict | None = None
 
     @property
     def committed_total(self) -> int:
@@ -224,7 +233,7 @@ class Experiment:
         if sink is None and config.trace_path is not None:
             sink = JsonlSink(config.trace_path)
             self._owned_sink = sink
-        if sink is None and (config.audit or config.metrics):
+        if sink is None and (config.audit or config.metrics or config.perf):
             # Active monitoring without an on-disk trace: the bus fans
             # events out to its taps and the sink discards them.
             sink = NullSink()
@@ -246,6 +255,17 @@ class Experiment:
                 self.obs.subscribe(self.auditor)
             self.registry = MetricsRegistry()
             self.obs.subscribe(TraceMetricsFeed(self.registry))
+        self.perf_recorder: PerfRecorder | None = None
+        if config.perf:
+            self.perf_recorder = PerfRecorder()
+            self.kernel.install_perf(self.perf_recorder)
+            if self.obs is not None:
+                self.obs.subscribe(PerfSpanTap(self.perf_recorder))
+        # ``repro profile`` installs a process-wide event profiler; any
+        # sim kernel built while it is active reports to it.
+        profiler = prof.active()
+        if profiler is not None and hasattr(self.kernel, "profiler"):
+            self.kernel.profiler = profiler
         self.trace = SyntheticAzureTrace(config.trace)
         self.entity = Entity(config.entity_id, config.maximum)
         self.metrics = MetricsHub(config.bucket_seconds)
@@ -545,6 +565,8 @@ class Experiment:
             ]
         if self.registry is not None:
             result.metrics_snapshot = self.registry.snapshot()
+        if self.perf_recorder is not None:
+            result.perf_snapshot = self.perf_recorder.snapshot()
         return result
 
     def run(self) -> ExperimentResult:

@@ -25,6 +25,14 @@ Comparison rules:
   are not comparable.  Baselines produced before bench-json/2 may lack
   ``schema``/``git_sha``/``seed``; the comparison backfills those as
   ``unknown`` (a note, never a failure) so old artifacts stay usable.
+* **Calibrated** metrics (``BenchSpec.calibrated``) are wall-clock
+  rates: never comparable across machines directly, so each side is
+  first divided by its artifact's top-level ``calibration`` stamp (the
+  machine's no-op kernel dispatch rate, ``harness.calibration``) and
+  the tolerance applies to the *ratios*.  An artifact without a
+  calibration stamp downgrades the comparison to a note — old
+  baselines and ad-hoc runs must not fail the gate on provenance they
+  never had.
 """
 
 from __future__ import annotations
@@ -71,6 +79,19 @@ class BenchSpec:
     overrides: dict[str, Tolerance] = field(default_factory=dict)
     #: Dotted-path prefixes to skip entirely (unstable diagnostics).
     ignore: tuple[str, ...] = ()
+    #: Dotted-path prefixes gated as calibration ratios (wall-clock
+    #: rates divided by each artifact's ``calibration`` stamp).
+    calibrated: dict[str, Tolerance] = field(default_factory=dict)
+
+    def calibrated_for(self, path: str) -> Tolerance | None:
+        best: Tolerance | None = None
+        best_len = -1
+        for prefix, tolerance in self.calibrated.items():
+            if (path == prefix or path.startswith(prefix + ".")) and len(
+                prefix
+            ) > best_len:
+                best, best_len = tolerance, len(prefix)
+        return best
 
     def tolerance_for(self, path: str) -> Tolerance:
         best: Tolerance | None = None
@@ -102,6 +123,7 @@ def register_baseline(
     default: Tolerance | None = None,
     overrides: dict[str, Tolerance] | None = None,
     ignore: tuple[str, ...] = (),
+    calibrated: dict[str, Tolerance] | None = None,
 ) -> BenchSpec:
     """Declare a benchmark's baseline contract (called by bench_*.py)."""
     spec = BenchSpec(
@@ -109,6 +131,7 @@ def register_baseline(
         default=default if default is not None else Tolerance(rel=0.10),
         overrides=dict(overrides or {}),
         ignore=tuple(ignore),
+        calibrated=dict(calibrated or {}),
     )
     SPECS[name] = spec
     return spec
@@ -138,6 +161,59 @@ def numeric_leaves(tree: Any, prefix: str = "") -> dict[str, float]:
     elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
         out[prefix] = float(tree)
     return out
+
+
+def _compare_calibrated(
+    bench: str,
+    path: str,
+    base_value: float,
+    cur_value: float,
+    base_calibration: Any,
+    cur_calibration: Any,
+    tolerance: Tolerance,
+) -> list[Finding]:
+    """Gate one wall-clock metric as a calibration ratio.
+
+    Each side is normalized by its artifact's ``calibration`` stamp
+    (events/sec of the fixed no-op kernel loop on the machine that
+    produced it), cancelling the machine constant.  Either stamp
+    missing means the metric cannot be gated — a note, not a failure.
+    """
+    base_cal = (
+        float(base_calibration)
+        if isinstance(base_calibration, (int, float))
+        and not isinstance(base_calibration, bool)
+        else 0.0
+    )
+    cur_cal = (
+        float(cur_calibration)
+        if isinstance(cur_calibration, (int, float))
+        and not isinstance(cur_calibration, bool)
+        else 0.0
+    )
+    if base_cal <= 0.0 or cur_cal <= 0.0:
+        missing = "baseline" if base_cal <= 0.0 else "current artifact"
+        return [
+            Finding(bench, "note", path,
+                    f"{missing} lacks a calibration stamp; wall-clock "
+                    "metric not gated", fatal=False)
+        ]
+    base_ratio = base_value / base_cal
+    cur_ratio = cur_value / cur_cal
+    if tolerance.allows(base_ratio, cur_ratio):
+        return []
+    drift = (
+        (cur_ratio - base_ratio) / base_ratio * 100.0
+        if base_ratio
+        else float("inf")
+    )
+    return [
+        Finding(bench, "regression", path,
+                f"calibrated ratio {base_ratio:.4g} -> {cur_ratio:.4g} "
+                f"({drift:+.1f}%, tolerance {tolerance.describe()}; raw "
+                f"{base_value:g} @ {base_cal:.3g} ev/s -> {cur_value:g} "
+                f"@ {cur_cal:.3g} ev/s)", fatal=True)
+    ]
 
 
 def compare_payloads(
@@ -176,6 +252,16 @@ def compare_payloads(
             )
             continue
         cur_value = cur_metrics[path]
+        calibrated = spec.calibrated_for(path)
+        if calibrated is not None:
+            findings.extend(
+                _compare_calibrated(
+                    bench, path, base_value, cur_value,
+                    baseline.get("calibration"), current.get("calibration"),
+                    calibrated,
+                )
+            )
+            continue
         tolerance = spec.tolerance_for(path)
         if not tolerance.allows(base_value, cur_value):
             drift = (

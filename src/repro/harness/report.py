@@ -109,6 +109,7 @@ def write_bench_json(
     seed: int | None = None,
     out_dir: str | os.PathLike | None = None,
     metrics: dict[str, Any] | None = None,
+    calibration: float | None = None,
 ) -> Path:
     """Write ``BENCH_<name>.json``: headline numbers + provenance.
 
@@ -119,7 +120,11 @@ def write_bench_json(
     (serialized via ``dataclasses.asdict``), a plain dict, or ``None``.
     Non-JSON values (Region enums, TraceConfig) fall back to ``str``.
     ``metrics`` embeds a point-in-time registry snapshot
-    (``ExperimentResult.metrics_snapshot``).  The artifact lands in
+    (``ExperimentResult.metrics_snapshot``).  ``calibration`` stamps
+    the machine's reference dispatch rate
+    (``harness.calibration.calibration_point``) so the regression gate
+    can compare wall-clock metrics across machines as ratios.  The
+    artifact lands in
     ``out_dir``, the ``BENCH_OUT_DIR`` env var, or the current
     directory, in that order — CI points BENCH_OUT_DIR at its artifact
     upload path.
@@ -140,6 +145,8 @@ def write_bench_json(
         payload["seed"] = seed
     if metrics is not None:
         payload["metrics"] = metrics
+    if calibration is not None:
+        payload["calibration"] = round(calibration, 1)
     path = directory / f"BENCH_{name}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",

@@ -12,11 +12,15 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
     Nearest-rank (rather than interpolation) is what most latency tooling
     reports and it is well-defined for small sample counts.
+
+    An empty sample set yields 0.0: a zero-commit run (every request
+    lost to a full-partition nemesis window) is a legitimate outcome a
+    report must render, not a crash.
     """
-    if not samples:
-        raise ValueError("percentile of an empty sample set")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
     ordered = sorted(samples)
     if q == 0.0:
         return ordered[0]
@@ -37,9 +41,14 @@ class LatencySummary:
     maximum: float
 
     @staticmethod
+    def empty() -> "LatencySummary":
+        """The explicit zero-sample summary (zero-commit runs)."""
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
     def from_samples(samples: Sequence[float]) -> "LatencySummary":
         if not samples:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return LatencySummary.empty()
         return LatencySummary(
             count=len(samples),
             mean=sum(samples) / len(samples),

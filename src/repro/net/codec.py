@@ -22,6 +22,7 @@ import enum
 import json
 import struct
 from dataclasses import fields, is_dataclass
+from time import perf_counter
 from typing import Any
 
 #: Frame header: payload byte length, unsigned 32-bit big-endian.
@@ -39,6 +40,28 @@ class CodecError(ValueError):
 _DATACLASSES: dict[str, type] = {}
 _ENUMS: dict[str, type] = {}
 _bootstrapped = False
+
+#: Optional :class:`repro.obs.perf.PerfRecorder`.  When ``None`` (the
+#: default) ``encode``/``decode`` pay a single ``is None`` test; when a
+#: harness installs one, every call is timed under its message type.
+_PERF = None
+
+
+def set_perf_recorder(recorder) -> None:
+    """Install (or with ``None``, remove) the codec timing recorder.
+
+    Module-level because the codec is a module-level registry: the live
+    transports call :func:`encode`/:func:`decode` directly, so there is
+    no per-connection object to hang a recorder on.
+    """
+    global _PERF
+    _PERF = recorder
+
+
+def _wire_label(obj: Any) -> str:
+    """Histogram key for one encode/decode: the innermost message type."""
+    kind = getattr(obj, "kind", None)
+    return kind if isinstance(kind, str) else type(obj).__name__
 
 
 def register(cls: type) -> type:
@@ -218,16 +241,25 @@ def _from_wire(node: Any) -> Any:
 
 def encode(obj: Any) -> bytes:
     """Serialize any registered wire object to JSON bytes."""
-    return json.dumps(_to_wire(obj), separators=(",", ":")).encode("utf-8")
+    if _PERF is None:
+        return json.dumps(_to_wire(obj), separators=(",", ":")).encode("utf-8")
+    start = perf_counter()
+    body = json.dumps(_to_wire(obj), separators=(",", ":")).encode("utf-8")
+    _PERF.observe("codec.encode", _wire_label(obj), perf_counter() - start)
+    return body
 
 
 def decode(data: bytes) -> Any:
     """Inverse of :func:`encode`."""
+    start = perf_counter() if _PERF is not None else 0.0
     try:
         node = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CodecError(f"malformed wire bytes: {exc}") from exc
-    return _from_wire(node)
+    obj = _from_wire(node)
+    if _PERF is not None:
+        _PERF.observe("codec.decode", _wire_label(obj), perf_counter() - start)
+    return obj
 
 
 def encode_frame(obj: Any) -> bytes:

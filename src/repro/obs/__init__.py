@@ -41,9 +41,20 @@ identical event stream) with tracing on or off.
 
 from repro.obs.audit import InvariantAuditor, audit_events, format_audit_report
 from repro.obs.bus import EventBus, JsonlSink, NullSink, RingSink, trace_id_of
+from repro.obs.critical_path import (
+    analyze_critical_paths,
+    format_critical_path_report,
+)
+from repro.obs.perf import (
+    PerfHistogram,
+    PerfRecorder,
+    PerfSpanTap,
+    render_perf_prometheus,
+)
 from repro.obs.registry import MetricsRegistry, TraceMetricsFeed, feed_registry
 from repro.obs.schema import (
     SCHEMA,
+    iter_trace,
     read_trace,
     validate_event,
     validate_events,
@@ -56,14 +67,21 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "NullSink",
+    "PerfHistogram",
+    "PerfRecorder",
+    "PerfSpanTap",
     "RingSink",
     "SCHEMA",
     "TraceMetricsFeed",
+    "analyze_critical_paths",
     "audit_events",
     "feed_registry",
     "format_audit_report",
+    "format_critical_path_report",
     "format_trace_summary",
+    "iter_trace",
     "read_trace",
+    "render_perf_prometheus",
     "trace_id_of",
     "validate_event",
     "validate_events",

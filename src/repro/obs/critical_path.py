@@ -1,0 +1,284 @@
+"""Critical-path attribution over repro-trace/1 traces.
+
+Where does a committed request's latency actually go?  The trace
+already contains the answer in pieces: the client's ``request`` span
+brackets the whole interval, every envelope of the flow shares the
+span's ``req-<id>`` trace id, and each ``msg.send``/``msg.deliver``
+pair brackets one wire transit.  This module reassembles the pieces:
+for each sampled request it walks the message chain in timestamp order
+and partitions the span into alternating segments —
+
+* **dwell** at a node (from the previous arrival to the next send),
+  named after what the node was producing: ``client.issue`` before the
+  ``ClientRequest`` leaves, ``manager.dispatch`` before the forward,
+  ``site.serve`` before the site answers, ``manager.reply`` before the
+  client response, and ``client.complete`` after the final delivery.
+  Dwell at a site that overlaps an ``avantan.round`` span on that node
+  is split out as ``site.round_wait`` — time the request sat queued
+  behind a redistribution round, the paper's §4.4 contention story.
+* **link** transit (send to deliver), named by region pair — the
+  inter-region attribution Shiozaki-style latency models validate
+  against.  Same-region hops render as ``<region> (local)``.
+
+Segments partition the span exactly, so attribution covers ~100% of
+each request's latency; anything the chain cannot explain (a dropped
+envelope, a retry gap) is charged to ``unattributed`` and counted
+against coverage rather than silently spread over the named segments.
+
+The analysis is **streaming**: one pass, state bounded by the sample
+size (``max_requests``) plus one interval list per site — a
+multi-gigabyte scale trace analyzes in constant memory.  Consumed via
+``python -m repro trace FILE --critical-path``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Default number of request flows to reconstruct per trace.
+DEFAULT_MAX_REQUESTS = 50
+
+#: Dwell-segment names, keyed by the message type the node emits next.
+_DWELL_LABELS = {
+    "ClientRequest": "client.issue",
+    "ForwardedRequest": "manager.dispatch",
+    "SiteResponse": "site.serve",
+    "ClientResponse": "manager.reply",
+    "BatchEnvelope": "host.batch",
+}
+
+#: The terminal dwell: final delivery back to the span's end.
+_FINAL_LABEL = "client.complete"
+
+_UNATTRIBUTED = "unattributed"
+
+
+@dataclass
+class _Flow:
+    """Everything collected for one sampled request id."""
+
+    begin_ts: float
+    node: str
+    end_ts: float | None = None
+    dur: float = 0.0
+    outcome: str | None = None
+    #: (ts, etype, msg_id, msg_type, src_region, dst_region, dst_node)
+    msgs: list[tuple[float, str, int, str, str, str, str]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class Segment:
+    """One aggregated critical-path segment across all sampled requests."""
+
+    kind: str  # "phase" | "link"
+    label: str
+    seconds: float = 0.0
+    count: int = 0
+
+
+@dataclass
+class CriticalPathReport:
+    """Aggregated attribution over the sampled requests."""
+
+    requests: int
+    total_seconds: float
+    attributed_seconds: float
+    min_coverage: float
+    segments: list[Segment]
+    outcomes: dict[str, int]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of total sampled latency attributed to named segments."""
+        if self.total_seconds <= 0.0:
+            return 1.0
+        return self.attributed_seconds / self.total_seconds
+
+
+def _link_label(src_region: str, dst_region: str) -> str:
+    if src_region == dst_region:
+        return f"{src_region or '?'} (local)"
+    return f"{src_region or '?'} -> {dst_region or '?'}"
+
+
+def _overlap(start: float, end: float, intervals: list[tuple[float, float]]) -> float:
+    """Total overlap of [start, end] with a list of intervals."""
+    covered = 0.0
+    for lo, hi in intervals:
+        covered += max(0.0, min(end, hi) - max(start, lo))
+    return min(covered, max(0.0, end - start))
+
+
+def analyze_critical_paths(
+    events: Iterable[dict[str, Any]],
+    max_requests: int = DEFAULT_MAX_REQUESTS,
+) -> CriticalPathReport:
+    """One streaming pass: sample flows, then attribute each one."""
+    flows: dict[str, _Flow] = {}
+    round_intervals: dict[str, list[tuple[float, float]]] = {}
+
+    for event in events:
+        etype = event.get("type")
+        if etype == "span.begin":
+            if event.get("span") == "request" and len(flows) < max_requests:
+                trace_id = event.get("trace_id")
+                if isinstance(trace_id, str) and trace_id not in flows:
+                    flows[trace_id] = _Flow(
+                        begin_ts=float(event.get("ts", 0.0)),
+                        node=str(event.get("node", "")),
+                    )
+        elif etype == "span.end":
+            span = event.get("span")
+            if span == "request":
+                flow = flows.get(event.get("trace_id", ""))
+                if flow is not None:
+                    flow.end_ts = float(event.get("ts", 0.0))
+                    flow.dur = float(event.get("dur", 0.0))
+                    flow.outcome = str(event.get("outcome", "?"))
+            elif span == "avantan.round":
+                ts = float(event.get("ts", 0.0))
+                dur = float(event.get("dur", 0.0))
+                round_intervals.setdefault(str(event.get("node", "")), []).append(
+                    (ts - dur, ts)
+                )
+        elif etype in ("msg.send", "msg.deliver", "msg.drop"):
+            flow = flows.get(event.get("trace_id", ""))
+            if flow is not None:
+                flow.msgs.append(
+                    (
+                        float(event.get("ts", 0.0)),
+                        etype,
+                        int(event.get("msg_id", 0)),
+                        str(event.get("msg_type", "?")),
+                        str(event.get("src_region", "")),
+                        str(event.get("dst_region", "")),
+                        str(event.get("dst", "")),
+                    )
+                )
+
+    segments: dict[tuple[str, str], Segment] = {}
+    outcomes: dict[str, int] = {}
+    total = 0.0
+    attributed = 0.0
+    min_coverage = 1.0
+    completed = 0
+
+    def charge(kind: str, label: str, seconds: float) -> None:
+        if seconds <= 0.0:
+            return
+        segment = segments.get((kind, label))
+        if segment is None:
+            segment = segments[(kind, label)] = Segment(kind=kind, label=label)
+        segment.seconds += seconds
+        segment.count += 1
+
+    for flow in flows.values():
+        if flow.end_ts is None or flow.dur <= 0.0:
+            continue
+        completed += 1
+        outcomes[flow.outcome or "?"] = outcomes.get(flow.outcome or "?", 0) + 1
+        total += flow.dur
+        flow_attributed = 0.0
+
+        # Pair sends with their deliveries by msg_id, in send order.
+        sends = [m for m in flow.msgs if m[1] == "msg.send"]
+        delivered_at = {m[2]: m[0] for m in flow.msgs if m[1] == "msg.deliver"}
+        cursor = flow.begin_ts
+        current_node = flow.node
+        broken = False
+        for ts, _etype, msg_id, msg_type, src_region, dst_region, dst_node in sends:
+            if ts < cursor:
+                # Concurrent or retried sends (an app manager re-forwarding)
+                # overlap the chain we already walked; skip the stale hop.
+                continue
+            dwell = ts - cursor
+            if dwell > 0.0:
+                label = _DWELL_LABELS.get(msg_type, f"dwell.{msg_type}")
+                wait = 0.0
+                if label == "site.serve":
+                    wait = _overlap(
+                        cursor, ts, round_intervals.get(current_node, [])
+                    )
+                    if wait > 0.0:
+                        charge("phase", "site.round_wait", wait)
+                charge("phase", label, dwell - wait)
+                flow_attributed += dwell
+            cursor = ts
+            arrival = delivered_at.get(msg_id)
+            if arrival is None or arrival < ts:
+                # Dropped (or never delivered): the rest of this flow's
+                # latency is a timeout, not an explicable chain.
+                broken = True
+                break
+            charge("link", _link_label(src_region, dst_region), arrival - ts)
+            flow_attributed += arrival - ts
+            cursor = arrival
+            current_node = dst_node
+        tail = flow.end_ts - cursor
+        if tail > 0.0:
+            if broken or not sends:
+                # Timed out mid-chain, or no wire traffic at all
+                # (request shed locally / trace lacks msg events):
+                # nothing to attribute the remainder to.
+                charge("phase", _UNATTRIBUTED, tail)
+            else:
+                label = _FINAL_LABEL if current_node == flow.node else _UNATTRIBUTED
+                charge("phase", label, tail)
+                if label == _FINAL_LABEL:
+                    flow_attributed += tail
+        attributed += flow_attributed
+        min_coverage = min(
+            min_coverage, flow_attributed / flow.dur if flow.dur > 0.0 else 1.0
+        )
+
+    ordered = sorted(segments.values(), key=lambda s: -s.seconds)
+    return CriticalPathReport(
+        requests=completed,
+        total_seconds=total,
+        attributed_seconds=attributed,
+        min_coverage=min_coverage if completed else 0.0,
+        segments=ordered,
+        outcomes=outcomes,
+    )
+
+
+def format_critical_path_report(report: CriticalPathReport) -> str:
+    """The per-phase/per-link table ``repro trace --critical-path`` prints."""
+    from repro.harness.report import format_table
+
+    if report.requests == 0:
+        return (
+            "critical path: no completed request spans in this trace "
+            "(record one with run/live --trace)"
+        )
+    total = report.total_seconds or 1.0
+    rows = [
+        [
+            segment.kind,
+            segment.label,
+            f"{segment.seconds * 1000.0:.2f}",
+            f"{100.0 * segment.seconds / total:.1f}%",
+            segment.count,
+        ]
+        for segment in report.segments
+    ]
+    outcome_note = ", ".join(
+        f"{count} {outcome}" for outcome, count in sorted(report.outcomes.items())
+    )
+    table = format_table(
+        ["kind", "segment", "total ms", "share", "hops"],
+        rows,
+        title=(
+            f"critical path — {report.requests} sampled requests "
+            f"({outcome_note})"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"attributed {100.0 * report.coverage:.1f}% of "
+        f"{report.total_seconds * 1000.0:.2f} ms total commit latency "
+        f"(min per-request coverage {100.0 * report.min_coverage:.1f}%)"
+    )

@@ -75,14 +75,24 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class MetricsServer:
-    """Serves ``GET /metrics`` for one registry on localhost."""
+    """Serves ``GET /metrics`` for one registry on localhost.
+
+    When a :class:`~repro.obs.perf.PerfRecorder` is attached, its
+    wall-clock histograms are appended to every scrape as proper
+    Prometheus histogram families (cumulative ``le`` + ``_sum``/``_count``).
+    """
 
     def __init__(
-        self, registry: MetricsRegistry, port: int, host: str = "127.0.0.1"
+        self,
+        registry: MetricsRegistry,
+        port: int,
+        host: str = "127.0.0.1",
+        perf=None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
+        self.perf = perf
         self.scrapes = 0
         self._server: asyncio.base_events.Server | None = None
 
@@ -114,7 +124,12 @@ class MetricsServer:
                 parts[1] in ("/metrics", "/metrics/", "/")
             ):
                 self.scrapes += 1
-                body = render_prometheus(self.registry).encode("utf-8")
+                text = render_prometheus(self.registry)
+                if self.perf is not None:
+                    from repro.obs.perf import render_perf_prometheus
+
+                    text += render_perf_prometheus(self.perf)
+                body = text.encode("utf-8")
                 status = "200 OK"
             else:
                 body = b"try GET /metrics\n"

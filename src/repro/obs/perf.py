@@ -1,0 +1,389 @@
+"""Wall-clock performance plane: mergeable histograms + the recorder.
+
+Every committed baseline before this module measured *simulated* time;
+the sim kernel's event loop, the codec, and the live transports burn
+wall time that no table showed.  This module is the measurement layer
+for exactly that: log-bucketed duration histograms cheap enough for the
+kernel's dispatch loop, a :class:`PerfRecorder` holding the standard
+instruments, and Prometheus rendering so ``/metrics`` serves the same
+numbers a bench artifact embeds.
+
+Design constraints, in order:
+
+* **Mergeable, exactly.**  Bucket boundaries are *fixed constants* —
+  ``10 ** (MIN_EXP + i / BUCKETS_PER_DECADE)`` — never derived from the
+  data, so two histograms recorded on different sites (or different
+  runs, or different machines) merge by adding bucket counts, with no
+  re-binning error.  This is the HDR-histogram property that makes
+  per-site latency data aggregate into one distribution.
+* **Bounded.**  A histogram is at most :data:`BUCKET_COUNT` integers no
+  matter how many samples it absorbs; recording never allocates after
+  the bucket exists.  That is what lets it replace raw-sample lists on
+  paths that see millions of events.
+* **Zero overhead when off.**  Nothing here is consulted unless a
+  recorder is installed; instrumented code follows the PR 2 pattern —
+  one ``is None`` test on the hot path, timing only behind it.
+
+Resolution: :data:`BUCKETS_PER_DECADE` log-spaced buckets per decade
+give a worst-case relative quantile error of one bucket ratio
+(:func:`bucket_ratio`, ~7.5% at 32/decade) across 10 decades: 100 ns
+to 1000 s.  Durations are **seconds**, like every other repro clock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator
+
+from repro.metrics.latency import LatencySummary
+
+#: Log-spaced buckets per decade.  Fixed forever (see module docs);
+#: bump :data:`PERF_SCHEMA` if it ever changes.
+BUCKETS_PER_DECADE = 32
+
+#: Exponent of the smallest tracked duration: 10^-7 s = 100 ns.
+MIN_EXP = -7
+
+#: Exponent of the largest tracked duration: 10^3 s.
+MAX_EXP = 3
+
+#: Total bucket count; values outside the range clamp into the edge
+#: buckets, so counts and sums stay exact even for outliers.
+BUCKET_COUNT = (MAX_EXP - MIN_EXP) * BUCKETS_PER_DECADE
+
+#: Serialization format tag for :meth:`PerfHistogram.to_dict`.
+PERF_SCHEMA = "perf-hist/1"
+
+_MIN_VALUE = 10.0**MIN_EXP
+_LOG_SCALE = float(BUCKETS_PER_DECADE)
+
+
+def bucket_ratio() -> float:
+    """Upper/lower edge ratio of one bucket — the resolution bound."""
+    return 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket a duration lands in (clamped at both edges)."""
+    if value <= _MIN_VALUE:
+        return 0
+    index = int((math.log10(value) - MIN_EXP) * _LOG_SCALE)
+    if index < 0:
+        return 0
+    if index >= BUCKET_COUNT:
+        return BUCKET_COUNT - 1
+    return index
+
+
+def bucket_upper(index: int) -> float:
+    """Upper edge (seconds) of bucket ``index``."""
+    return 10.0 ** (MIN_EXP + (index + 1) / _LOG_SCALE)
+
+
+def bucket_mid(index: int) -> float:
+    """Geometric midpoint of bucket ``index`` — the quantile estimate."""
+    return 10.0 ** (MIN_EXP + (index + 0.5) / _LOG_SCALE)
+
+
+class PerfHistogram:
+    """Log-bucketed duration histogram with exact merge.
+
+    Buckets are sparse (a dict of index -> count): most instruments
+    touch a narrow band of the 10-decade range, and sparse storage
+    makes merge and serialization proportional to occupied buckets.
+    ``count``/``total``/``vmin``/``vmax`` are tracked exactly, so means
+    and extremes carry no bucketing error — only interior quantiles are
+    approximate, within one bucket ratio.
+    """
+
+    __slots__ = ("buckets", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = 0.0
+
+    # -- recording (the hot path) ------------------------------------------
+
+    def record(self, value: float) -> None:
+        if value <= _MIN_VALUE:
+            index = 0
+        else:
+            index = int((math.log10(value) - MIN_EXP) * _LOG_SCALE)
+            if index < 0:
+                index = 0
+            elif index >= BUCKET_COUNT:
+                index = BUCKET_COUNT - 1
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate, ``q`` in [0, 100].
+
+        Returns the geometric midpoint of the bucket holding the ranked
+        sample, clamped into the exactly-tracked ``[vmin, vmax]`` so
+        q=0/q=100 are exact and no estimate overshoots an observed
+        extreme.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                estimate = bucket_mid(index)
+                return min(max(estimate, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - rank <= count always hits
+
+    def summary(self) -> LatencySummary:
+        """The standard percentile row, from buckets (mean/max exact)."""
+        if self.count == 0:
+            return LatencySummary.from_samples([])
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean,
+            p50=self.quantile(50),
+            p90=self.quantile(90),
+            p95=self.quantile(95),
+            p99=self.quantile(99),
+            maximum=self.vmax,
+        )
+
+    def cumulative(self, indices: Iterable[int]) -> Iterator[tuple[float, int]]:
+        """``(upper_edge_seconds, cumulative_count)`` at chosen buckets.
+
+        ``indices`` must be ascending; cumulative counts at any boundary
+        subset are exact (coarsening loses resolution, never counts) —
+        this is what the Prometheus renderer downsamples through.
+        """
+        running = 0
+        occupied = sorted(self.buckets)
+        position = 0
+        for index in indices:
+            while position < len(occupied) and occupied[position] <= index:
+                running += self.buckets[occupied[position]]
+                position += 1
+            yield bucket_upper(index), running
+
+    # -- merge / serialization ---------------------------------------------
+
+    def merge(self, other: "PerfHistogram") -> None:
+        """Add ``other``'s data into this histogram (exact: same bounds)."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.vmin = min(self.vmin, other.vmin)
+            self.vmax = max(self.vmax, other.vmax)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (bucket indices stringified for JSON keys)."""
+        return {
+            "schema": PERF_SCHEMA,
+            "bpd": BUCKETS_PER_DECADE,
+            "min_exp": MIN_EXP,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "PerfHistogram":
+        if (
+            payload.get("bpd") != BUCKETS_PER_DECADE
+            or payload.get("min_exp") != MIN_EXP
+        ):
+            raise ValueError(
+                "incompatible perf histogram layout: "
+                f"{payload.get('bpd')}/{payload.get('min_exp')} vs "
+                f"{BUCKETS_PER_DECADE}/{MIN_EXP}"
+            )
+        hist = PerfHistogram()
+        hist.count = int(payload["count"])
+        hist.total = float(payload["sum"])
+        hist.buckets = {int(i): int(c) for i, c in payload["buckets"].items()}
+        if hist.count:
+            hist.vmin = float(payload["min"])
+            hist.vmax = float(payload["max"])
+        return hist
+
+
+class PerfRecorder:
+    """Named perf histograms: ``(instrument, key)`` -> histogram.
+
+    One recorder rides one run.  Instruments are dotted names
+    (``kernel.tick``, ``codec.encode``); ``key`` is the one free label
+    (a message type, a span name, a region pair).  Hot paths cache the
+    histogram object itself (see ``Kernel.install_perf``) so recording
+    is a method call, not a dict lookup.
+    """
+
+    def __init__(self) -> None:
+        self._hists: dict[tuple[str, str], PerfHistogram] = {}
+
+    def histogram(self, instrument: str, key: str = "") -> PerfHistogram:
+        handle = (instrument, key)
+        hist = self._hists.get(handle)
+        if hist is None:
+            hist = PerfHistogram()
+            self._hists[handle] = hist
+        return hist
+
+    def observe(self, instrument: str, key: str, seconds: float) -> None:
+        self.histogram(instrument, key).record(seconds)
+
+    def items(self) -> list[tuple[tuple[str, str], PerfHistogram]]:
+        return sorted(self._hists.items())
+
+    def __len__(self) -> int:
+        return len(self._hists)
+
+    def merge(self, other: "PerfRecorder") -> None:
+        """Fold another recorder in (cross-site / cross-run aggregation)."""
+        for (instrument, key), hist in other._hists.items():
+            self.histogram(instrument, key).merge(hist)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat JSON-safe dump for bench artifacts and results.
+
+        Per instrument/key: count, total seconds, mean/p50/p95/p99/max
+        in **milliseconds** (the unit every repro table prints).
+        """
+        out: dict[str, Any] = {}
+        for (instrument, key), hist in self.items():
+            if hist.count == 0:
+                continue
+            name = f"{instrument}{{{key}}}" if key else instrument
+            summary = hist.summary()
+            out[name] = {
+                "count": hist.count,
+                "sum_s": round(hist.total, 9),
+                "mean_ms": round(summary.mean * 1000.0, 6),
+                "p50_ms": round(summary.p50 * 1000.0, 6),
+                "p95_ms": round(summary.p95 * 1000.0, 6),
+                "p99_ms": round(summary.p99 * 1000.0, 6),
+                "max_ms": round(summary.maximum * 1000.0, 6),
+            }
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full-fidelity dump: merge two of these with :func:`merge_dicts`."""
+        return {
+            "schema": PERF_SCHEMA,
+            "hists": {
+                f"{instrument}\t{key}": hist.to_dict()
+                for (instrument, key), hist in self.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "PerfRecorder":
+        recorder = PerfRecorder()
+        for handle, dump in payload.get("hists", {}).items():
+            instrument, _, key = handle.partition("\t")
+            recorder._hists[(instrument, key)] = PerfHistogram.from_dict(dump)
+        return recorder
+
+    def rows(self) -> list[list[object]]:
+        """CLI table rows: instrument, key, count, mean/p50/p95/max ms."""
+        rows: list[list[object]] = []
+        for (instrument, key), hist in self.items():
+            if hist.count == 0:
+                continue
+            summary = hist.summary()
+            rows.append(
+                [
+                    instrument,
+                    key or "-",
+                    hist.count,
+                    f"{summary.mean * 1000.0:.4f}",
+                    f"{summary.p50 * 1000.0:.4f}",
+                    f"{summary.p95 * 1000.0:.4f}",
+                    f"{summary.maximum * 1000.0:.4f}",
+                ]
+            )
+        return rows
+
+
+class PerfSpanTap:
+    """EventBus tap folding completed spans into a recorder.
+
+    This is where the protocol-phase latency histograms come from:
+    every ``span.end`` (request -> commit, ``avantan.round``, the
+    ``avantan.phase.*`` sub-phases, ``read``) records its duration
+    under ``span.dur`` keyed by span name.  Durations are substrate
+    clock seconds — simulated under the kernel, wall under the live
+    clock — exactly like the trace they mirror.
+    """
+
+    def __init__(self, recorder: PerfRecorder) -> None:
+        self.recorder = recorder
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        if event.get("type") == "span.end":
+            self.recorder.observe(
+                "span.dur", str(event.get("span", "?")), float(event.get("dur", 0.0))
+            )
+
+
+#: ``le`` boundaries rendered to Prometheus: every 4th bucket edge
+#: (8 per decade).  Cumulative counts at a boundary subset are exact;
+#: this keeps a scrape at ~80 lines per cell instead of 320.
+EXPOSITION_STRIDE = 4
+
+
+def render_perf_prometheus(recorder: PerfRecorder) -> str:
+    """Perf histograms as Prometheus text-format histogram families.
+
+    One family per instrument (``repro_perf_<instrument>_seconds``),
+    one cell per key, cumulative ``le`` buckets plus ``_sum``/``_count``
+    — the standard histogram shape, so any scraper computes quantiles
+    with its own functions.
+    """
+    families: dict[str, list[tuple[str, PerfHistogram]]] = {}
+    for (instrument, key), hist in recorder.items():
+        families.setdefault(instrument, []).append((key, hist))
+    edges = range(EXPOSITION_STRIDE - 1, BUCKET_COUNT, EXPOSITION_STRIDE)
+    lines: list[str] = []
+    for instrument in sorted(families):
+        name = "repro_perf_" + instrument.replace(".", "_").replace("-", "_")
+        name += "_seconds"
+        lines.append(f"# HELP {name} Wall/substrate durations for {instrument}")
+        lines.append(f"# TYPE {name} histogram")
+        for key, hist in sorted(families[instrument]):
+            label = f'{{key="{key}"}}' if key else ""
+
+            def _le(label_value: str) -> str:
+                if key:
+                    return f'{{key="{key}",le="{label_value}"}}'
+                return f'{{le="{label_value}"}}'
+
+            cumulative = 0
+            for upper, cumulative in hist.cumulative(edges):
+                lines.append(f"{name}_bucket{_le(f'{upper:.9g}')} {cumulative}")
+            lines.append(f"{name}_bucket{_le('+Inf')} {hist.count}")
+            lines.append(f"{name}_sum{label} {hist.total:.9g}")
+            lines.append(f"{name}_count{label} {hist.count}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

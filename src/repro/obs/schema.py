@@ -53,7 +53,7 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 #: Trace format identifier, recorded in every run.meta event.
 SCHEMA = "repro-trace/1"
@@ -242,9 +242,15 @@ def validate_events(events: Iterable[dict[str, Any]]) -> list[str]:
     return errors
 
 
-def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """Load a JSONL trace file (plain or ``.gz``) into a list of events."""
-    events: list[dict[str, Any]] = []
+def iter_trace(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream a JSONL trace file (plain or ``.gz``) one event at a time.
+
+    This is the memory-bounded reader: a 100k-entity scale trace is
+    millions of lines, and every consumer that can fold events as they
+    arrive (the summarizer, the auditor, critical-path analysis) should
+    iterate rather than materialize.  Re-open (call again) for a second
+    pass.
+    """
     opener = gzip.open if Path(path).suffix == ".gz" else open
     with opener(path, "rt", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -252,7 +258,11 @@ def read_trace(path: str | Path) -> list[dict[str, Any]]:
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from exc
-    return events
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace file (plain or ``.gz``) into a list of events."""
+    return list(iter_trace(path))

@@ -3,6 +3,14 @@
 Aggregation mirrors the paper's analysis axes: time-per-protocol-phase
 (spans), message volume per type and per region pair (the WAN round-trip
 story behind Fig. 3b-3h and Table 2b), and request outcomes.
+
+:class:`TraceSummaryBuilder` folds the whole summary in **one pass**
+over the event stream with bounded state — span durations live in
+log-bucketed :class:`~repro.obs.perf.PerfHistogram`\\ s instead of raw
+sample lists, so a 100k-entity scale trace summarizes in memory
+proportional to the number of *distinct* span names and region pairs,
+not the number of events.  The legacy per-table row functions remain
+for callers that already hold a list.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from collections import Counter, defaultdict
 from typing import Any, Iterable
 
 from repro.metrics.latency import percentile
+from repro.obs.perf import PerfHistogram
 
 # NOTE: repro.harness.report is imported lazily inside
 # format_trace_summary — the harness package imports the core modules,
@@ -134,65 +143,169 @@ def run_meta(events: Iterable[dict[str, Any]]) -> dict[str, Any] | None:
     return None
 
 
-def format_trace_summary(events: list[dict[str, Any]], source: str = "") -> str:
-    """The full human-readable summary for one trace."""
-    from repro.harness.report import format_table
+class TraceSummaryBuilder:
+    """Single-pass, bounded-memory trace summarizer.
 
-    sections: list[str] = []
-    meta = run_meta(events)
-    header = f"trace summary — {len(events)} events"
-    if source:
-        header += f" from {source}"
-    if meta is not None:
-        header += (
-            f"\n{meta.get('system', '?')} on {meta.get('substrate', '?')} substrate, "
-            f"seed {meta.get('seed', '?')}, {meta.get('duration', 0):.0f}s"
-        )
-    sections.append(header)
-    spans = span_rows(events)
-    if spans:
-        sections.append(
-            format_table(
-                ["phase", "count", "mean ms", "p50 ms", "p95 ms", "max ms"],
-                spans,
-                title="per-phase latency (completed spans)",
+    Feed every event through :meth:`add` (from a list, a ring buffer, or
+    a streaming :func:`~repro.obs.schema.iter_trace` generator), then
+    :meth:`format` renders the same tables the multi-pass row functions
+    produce — with span percentiles estimated from merged log-bucketed
+    histograms (exact count/mean/max, quantiles within one bucket ratio).
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.meta: dict[str, Any] | None = None
+        self.spans: dict[str, PerfHistogram] = {}
+        self.sent: Counter[str] = Counter()
+        self.delivered: Counter[str] = Counter()
+        self.dropped: Counter[str] = Counter()
+        self.region_counts: Counter[tuple[str, str]] = Counter()
+        self.region_latency_sums: dict[tuple[str, str], float] = defaultdict(float)
+        self.region_latency_counts: Counter[tuple[str, str]] = Counter()
+        self.outcomes: Counter[str] = Counter()
+        self.faults: list[list[object]] = []
+        self.invariant_checks = 0
+        self.invariant_violations: Counter[str] = Counter()
+
+    def add(self, event: dict[str, Any]) -> None:
+        self.events += 1
+        etype = event.get("type")
+        if etype == "span.end":
+            span = event["span"]
+            hist = self.spans.get(span)
+            if hist is None:
+                hist = self.spans[span] = PerfHistogram()
+            hist.record(float(event["dur"]))
+            if span == "request":
+                self.outcomes[event["outcome"]] += 1
+        elif etype == "msg.send":
+            self.sent[event["msg_type"]] += 1
+        elif etype == "msg.deliver":
+            self.delivered[event["msg_type"]] += 1
+            pair = (event.get("src_region", "?"), event.get("dst_region", "?"))
+            self.region_counts[pair] += 1
+            if "latency" in event:
+                self.region_latency_sums[pair] += float(event["latency"])
+                self.region_latency_counts[pair] += 1
+        elif etype == "msg.drop":
+            self.dropped[event["msg_type"]] += 1
+        elif etype == "run.meta":
+            if self.meta is None:
+                self.meta = event
+        elif etype == "invariant.check":
+            self.invariant_checks += 1
+        elif etype == "invariant.violation":
+            self.invariant_violations[event.get("invariant", "?")] += 1
+        elif isinstance(etype, str) and etype.startswith("fault."):
+            target = event.get("targets") or event.get("groups") or "-"
+            self.faults.append([f"{event.get('ts', 0.0):.1f}", etype[6:], target])
+
+    def consume(self, events: Iterable[dict[str, Any]]) -> "TraceSummaryBuilder":
+        for event in events:
+            self.add(event)
+        return self
+
+    # -- rendering ---------------------------------------------------------
+
+    def span_table_rows(self) -> list[list[object]]:
+        rows: list[list[object]] = []
+        for span in sorted(self.spans):
+            hist = self.spans[span]
+            summary = hist.summary()
+            rows.append(
+                [
+                    span,
+                    hist.count,
+                    f"{summary.mean * 1000.0:.2f}",
+                    f"{summary.p50 * 1000.0:.2f}",
+                    f"{summary.p95 * 1000.0:.2f}",
+                    f"{summary.maximum * 1000.0:.2f}",
+                ]
             )
-        )
-    messages = message_rows(events)
-    if messages:
-        sections.append(
-            format_table(
-                ["msg type", "sent", "delivered", "dropped"],
-                messages,
-                title="messages by payload type",
+        return rows
+
+    def format(self, source: str = "") -> str:
+        from repro.harness.report import format_table
+
+        sections: list[str] = []
+        header = f"trace summary — {self.events} events"
+        if source:
+            header += f" from {source}"
+        if self.meta is not None:
+            header += (
+                f"\n{self.meta.get('system', '?')} on "
+                f"{self.meta.get('substrate', '?')} substrate, "
+                f"seed {self.meta.get('seed', '?')}, "
+                f"{self.meta.get('duration', 0):.0f}s"
             )
-        )
-    regions = region_rows(events)
-    if regions:
-        sections.append(
-            format_table(
-                ["region pair", "delivered", "mean latency ms"],
-                regions,
-                title="deliveries by region pair",
+        sections.append(header)
+        spans = self.span_table_rows()
+        if spans:
+            sections.append(
+                format_table(
+                    ["phase", "count", "mean ms", "p50 ms", "p95 ms", "max ms"],
+                    spans,
+                    title="per-phase latency (completed spans)",
+                )
             )
-        )
-    outcomes = outcome_rows(events)
-    if outcomes:
-        sections.append(
-            format_table(["outcome", "count"], outcomes, title="request outcomes")
-        )
-    faults = fault_rows(events)
-    if faults:
-        sections.append(
-            format_table(
-                ["t (s)", "fault", "targets"], faults, title="injected faults"
+        messages = [
+            [t, self.sent[t], self.delivered[t], self.dropped[t]]
+            for t in sorted(set(self.sent) | set(self.delivered) | set(self.dropped))
+        ]
+        if messages:
+            sections.append(
+                format_table(
+                    ["msg type", "sent", "delivered", "dropped"],
+                    messages,
+                    title="messages by payload type",
+                )
             )
-        )
-    invariants = invariant_rows(events)
-    if invariants:
-        sections.append(
-            format_table(
-                ["safety audit", "count"], invariants, title="invariant audits"
+        regions = []
+        for pair in sorted(self.region_counts):
+            mean_ms = (
+                self.region_latency_sums[pair]
+                / self.region_latency_counts[pair]
+                * 1000.0
+                if self.region_latency_counts[pair]
+                else 0.0
             )
-        )
-    return "\n\n".join(sections)
+            regions.append(
+                [f"{pair[0]} -> {pair[1]}", self.region_counts[pair], f"{mean_ms:.2f}"]
+            )
+        if regions:
+            sections.append(
+                format_table(
+                    ["region pair", "delivered", "mean latency ms"],
+                    regions,
+                    title="deliveries by region pair",
+                )
+            )
+        outcomes = [[o, self.outcomes[o]] for o in sorted(self.outcomes)]
+        if outcomes:
+            sections.append(
+                format_table(["outcome", "count"], outcomes, title="request outcomes")
+            )
+        if self.faults:
+            sections.append(
+                format_table(
+                    ["t (s)", "fault", "targets"], self.faults, title="injected faults"
+                )
+            )
+        if self.invariant_checks or self.invariant_violations:
+            rows: list[list[object]] = [["checks recorded", self.invariant_checks]]
+            for invariant in sorted(self.invariant_violations):
+                rows.append(
+                    [f"violations: {invariant}", self.invariant_violations[invariant]]
+                )
+            if not self.invariant_violations:
+                rows.append(["violations", 0])
+            sections.append(
+                format_table(["safety audit", "count"], rows, title="invariant audits")
+            )
+        return "\n\n".join(sections)
+
+
+def format_trace_summary(events: Iterable[dict[str, Any]], source: str = "") -> str:
+    """The full human-readable summary for one trace (single pass)."""
+    return TraceSummaryBuilder().consume(events).format(source=source)

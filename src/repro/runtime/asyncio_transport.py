@@ -18,6 +18,7 @@ import asyncio
 import math
 import random
 from collections import Counter
+from time import perf_counter
 from typing import Any, Callable, Protocol
 
 from repro.net.message import Message
@@ -91,8 +92,16 @@ class AsyncioTransport:
         self.trace: Callable[[Message], None] | None = None
         #: Telemetry bus; installed by the launcher when tracing is on.
         self.obs: EventBus | None = None
+        #: Wall-clock recorder (:class:`repro.obs.perf.PerfRecorder`) or
+        #: ``None``; when set, send submission and receive dispatch are
+        #: timed per payload type.
+        self.perf = None
         #: Exceptions raised by ``on_message`` handlers, oldest first.
         self.errors: list[BaseException] = []
+
+    def install_perf(self, recorder) -> None:
+        """Attach a :class:`~repro.obs.perf.PerfRecorder` (or ``None``)."""
+        self.perf = recorder
 
     # -- registration -----------------------------------------------------
 
@@ -142,6 +151,14 @@ class AsyncioTransport:
 
     def send(self, src: str, dst: str, payload: Any) -> None:
         """Send ``payload`` from ``src`` to ``dst``; best-effort delivery."""
+        if self.perf is None:
+            self._send(src, dst, payload)
+            return
+        start = perf_counter()
+        self._send(src, dst, payload)
+        self.perf.observe("transport.send", type(payload).__name__, perf_counter() - start)
+
+    def _send(self, src: str, dst: str, payload: Any) -> None:
         self.messages_sent += 1
         message = Message(src=src, dst=dst, payload=payload, sent_at=self.clock.now)
         self.sent_by_type[message.kind] += 1
@@ -212,7 +229,14 @@ class AsyncioTransport:
                     latency=message.delivered_at - message.sent_at,
                 )
             try:
-                endpoint.on_message(message)
+                if self.perf is None:
+                    endpoint.on_message(message)
+                else:
+                    start = perf_counter()
+                    endpoint.on_message(message)
+                    self.perf.observe(
+                        "transport.recv", message.kind, perf_counter() - start
+                    )
             except BaseException as exc:  # noqa: BLE001 - surfaced by launcher
                 self.errors.append(exc)
 

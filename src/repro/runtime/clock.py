@@ -16,6 +16,7 @@ violation in a live run must fail the run, exactly as it does in sim.
 from __future__ import annotations
 
 import asyncio
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.sim.rng import RngRegistry
@@ -47,8 +48,19 @@ class LiveClock:
         #: Telemetry bus, same seam as :attr:`repro.sim.kernel.Kernel.obs`
         #: — actors read their bus from the clock they already hold.
         self.obs = None
+        #: Wall-clock recorder, same seam as ``Kernel.install_perf``;
+        #: ``clock.callback`` is the live analogue of ``kernel.tick``.
+        self.perf = None
+        self._perf_fire = None
         #: First exceptions raised by scheduled callbacks, oldest first.
         self.errors: list[BaseException] = []
+
+    def install_perf(self, recorder) -> None:
+        """Attach a :class:`~repro.obs.perf.PerfRecorder` (or ``None``)."""
+        self.perf = recorder
+        self._perf_fire = (
+            None if recorder is None else recorder.histogram("clock.callback")
+        )
 
     # -- loop binding -------------------------------------------------------
 
@@ -86,7 +98,12 @@ class LiveClock:
             return
         self.callbacks_fired += 1
         try:
-            callback(*args)
+            if self._perf_fire is None:
+                callback(*args)
+            else:
+                start = perf_counter()
+                callback(*args)
+                self._perf_fire.record(perf_counter() - start)
         except BaseException as exc:  # noqa: BLE001 - surfaced by the launcher
             self.errors.append(exc)
 

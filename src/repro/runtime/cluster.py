@@ -90,13 +90,26 @@ class LiveCluster:
                 seed=config.seed,
             )
         experiment = Experiment(config, kernel=clock, network=transport)
+        if experiment.perf_recorder is not None:
+            # The harness installed the recorder on the clock; the live
+            # substrate also times transport dispatch and (over TCP,
+            # where frames genuinely serialize) the codec.
+            transport.install_perf(experiment.perf_recorder)
+            if self.transport_kind == "tcp":
+                from repro.net import codec
+
+                codec.set_perf_recorder(experiment.perf_recorder)
         await transport.start()
         metrics_server = None
         if self.metrics_port is not None:
             from repro.obs.exposition import MetricsServer
 
             assert experiment.registry is not None  # config.metrics forced it
-            metrics_server = MetricsServer(experiment.registry, self.metrics_port)
+            metrics_server = MetricsServer(
+                experiment.registry,
+                self.metrics_port,
+                perf=experiment.perf_recorder,
+            )
             await metrics_server.start()
             self.bound_metrics_port = metrics_server.port
             print(
@@ -109,6 +122,11 @@ class LiveCluster:
         if metrics_server is not None:
             await metrics_server.stop()
         await transport.aclose()
+        if experiment.perf_recorder is not None and self.transport_kind == "tcp":
+            # The codec recorder is module-global; leave nothing behind.
+            from repro.net import codec
+
+            codec.set_perf_recorder(None)
         # A callback or handler exception (e.g. an invariant violation)
         # must fail the run, exactly as it would under the sim kernel.
         clock.raise_errors()

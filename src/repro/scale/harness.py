@@ -242,6 +242,13 @@ def build_scale_deployment(
     tests exercise.
     """
     kernel = Kernel(config.seed)
+    # ``repro profile`` installs a process-wide event profiler; a scale
+    # kernel built while it is active reports per-callback counts to it.
+    from repro.obs import prof
+
+    profiler = prof.active()
+    if profiler is not None:
+        kernel.profiler = profiler
     network = Network(
         kernel,
         NetworkConfig(

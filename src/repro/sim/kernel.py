@@ -8,6 +8,7 @@ exactly reproducible.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.sim.events import Event, EventQueue
@@ -32,6 +33,32 @@ class Kernel:
         #: harness installs it before any actor is built.  The kernel
         #: itself never emits — event dispatch is far too hot.
         self.obs = None
+        #: Wall-clock perf recorder (:class:`repro.obs.perf.PerfRecorder`)
+        #: or ``None``.  Dispatch is the hottest loop in the repo, so the
+        #: two histograms it feeds are cached as direct references and
+        #: the disabled path stays a single ``is None`` test.
+        self.perf = None
+        self._perf_tick = None
+        self._perf_push = None
+        #: Event-identity profiler (:class:`repro.obs.prof.EventProfiler`)
+        #: or ``None``; same cached-seam pattern.
+        self.profiler = None
+
+    def install_perf(self, recorder) -> None:
+        """Attach a :class:`~repro.obs.perf.PerfRecorder` (or ``None``).
+
+        ``kernel.tick`` times one dispatch (heap pop + callback);
+        ``kernel.heap_push`` times one schedule.  Wall time only — the
+        simulated clock is never read, so results stay bit-identical
+        with perf recording on or off.
+        """
+        self.perf = recorder
+        if recorder is None:
+            self._perf_tick = None
+            self._perf_push = None
+        else:
+            self._perf_tick = recorder.histogram("kernel.tick")
+            self._perf_push = recorder.histogram("kernel.heap_push")
 
     @property
     def events_fired(self) -> int:
@@ -46,7 +73,12 @@ class Kernel:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} seconds in the past")
-        return self._queue.push(self.now + delay, callback, args)
+        if self._perf_push is None:
+            return self._queue.push(self.now + delay, callback, args)
+        start = perf_counter()
+        event = self._queue.push(self.now + delay, callback, args)
+        self._perf_push.record(perf_counter() - start)
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
@@ -54,7 +86,12 @@ class Kernel:
             raise SimulationError(
                 f"cannot schedule at t={time} which is before now={self.now}"
             )
-        return self._queue.push(time, callback, args)
+        if self._perf_push is None:
+            return self._queue.push(time, callback, args)
+        start = perf_counter()
+        event = self._queue.push(time, callback, args)
+        self._perf_push.record(perf_counter() - start)
+        return event
 
     def step(self) -> bool:
         """Dispatch the next event.  Returns False when the queue is empty."""
@@ -65,7 +102,16 @@ class Kernel:
             raise SimulationError("event queue delivered an event out of order")
         self.now = event.time
         self._events_fired += 1
+        if self._perf_tick is None and self.profiler is None:
+            event.fire()
+            return True
+        start = perf_counter()
         event.fire()
+        elapsed = perf_counter() - start
+        if self._perf_tick is not None:
+            self._perf_tick.record(elapsed)
+        if self.profiler is not None:
+            self.profiler.record(event, elapsed)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:

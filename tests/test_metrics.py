@@ -25,9 +25,15 @@ class TestPercentile:
     def test_single_sample_q100(self):
         assert percentile([7.0], 100) == 7.0
 
-    def test_empty_raises(self):
+    def test_empty_returns_zero(self):
+        # Zero-commit runs (full-partition nemesis windows) must render
+        # a report, not crash it.
+        assert percentile([], 50) == 0.0
+        assert percentile([], 99) == 0.0
+
+    def test_empty_out_of_range_q_still_raises(self):
         with pytest.raises(ValueError):
-            percentile([], 50)
+            percentile([], 101)
 
     def test_out_of_range_q_raises(self):
         with pytest.raises(ValueError):

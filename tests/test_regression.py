@@ -120,6 +120,70 @@ class TestComparePayloads:
         assert "backfilled" in finding.detail
 
 
+class TestCalibratedMetrics:
+    """Wall-clock metrics gated as ratios against the machine calibration."""
+
+    SPEC = BenchSpec(
+        name="x",
+        default=Tolerance(rel=0.05),
+        calibrated={"wall_events_per_sec": Tolerance(rel=0.5)},
+    )
+
+    def test_faster_machine_with_same_ratio_passes(self):
+        # Current machine dispatches 2x faster and the workload scaled
+        # with it: identical ratio, no drift, despite a 2x raw delta
+        # that the plain ±5% tolerance would reject.
+        findings = compare_payloads(
+            payload({"wall_events_per_sec": 200_000.0}, calibration=2_000_000.0),
+            payload({"wall_events_per_sec": 100_000.0}, calibration=1_000_000.0),
+            self.SPEC,
+        )
+        assert findings == []
+
+    def test_relative_slowdown_fails(self):
+        # Same machine speed, workload 3x slower: a real regression.
+        findings = compare_payloads(
+            payload({"wall_events_per_sec": 33_000.0}, calibration=1_000_000.0),
+            payload({"wall_events_per_sec": 100_000.0}, calibration=1_000_000.0),
+            self.SPEC,
+        )
+        (finding,) = findings
+        assert finding.kind == "regression" and finding.fatal
+        assert finding.metric == "wall_events_per_sec"
+        assert "calibrated ratio" in finding.detail
+
+    def test_missing_calibration_downgrades_to_note(self):
+        findings = compare_payloads(
+            payload({"wall_events_per_sec": 33_000.0}, calibration=1_000_000.0),
+            payload({"wall_events_per_sec": 100_000.0}),  # no stamp
+            self.SPEC,
+        )
+        (finding,) = findings
+        assert finding.kind == "note" and not finding.fatal
+        assert "calibration" in finding.detail
+
+    def test_uncalibrated_metrics_keep_plain_tolerance(self):
+        findings = compare_payloads(
+            payload({"tps": 80.0}, calibration=1_000_000.0),
+            payload({"tps": 100.0}, calibration=1_000_000.0),
+            self.SPEC,
+        )
+        (finding,) = findings
+        assert finding.kind == "regression" and finding.metric == "tps"
+
+    def test_calibration_point_is_cached_and_positive(self):
+        from repro.harness import calibration
+
+        calibration._CACHED = None
+        try:
+            first = calibration.calibration_point(events=5_000)
+            second = calibration.calibration_point(events=5_000_000)
+            assert first > 0
+            assert second == first  # cached: the second call never reruns
+        finally:
+            calibration._CACHED = None
+
+
 class TestDirectories:
     def _write(self, directory, name, data):
         directory.mkdir(parents=True, exist_ok=True)
