@@ -20,6 +20,10 @@ def run_all():
         config = ExperimentConfig(
             system="samya-majority", duration=DURATION, seed=3,
             initial_allocation=policy,
+            # metrics rides the registry along on the representative
+            # config (passive; results identical) so the artifact
+            # carries /metrics + demand snapshots.
+            metrics=policy == POLICIES[0],
         )
         results[policy] = run_experiment(config)
     return results
@@ -61,6 +65,8 @@ def test_ablation_initial_allocation(benchmark):
         config={"system": "samya-majority", "duration": DURATION,
                 "policies": list(POLICIES)},
         seed=3,
+        metrics=results[POLICIES[0]].metrics_snapshot,
+        demand=results[POLICIES[0]].demand_snapshot,
     )
 
 

@@ -18,7 +18,10 @@ def run_all():
     results = {}
     for epoch in EPOCHS:
         config = ExperimentConfig(
-            system="samya-majority", duration=DURATION, seed=3, epoch_seconds=epoch
+            system="samya-majority", duration=DURATION, seed=3, epoch_seconds=epoch,
+            # Registry/demand snapshots ride the representative config
+            # (passive; results identical).
+            metrics=epoch == EPOCHS[0],
         )
         results[epoch] = run_experiment(config)
     return results
@@ -58,6 +61,8 @@ def test_ablation_epoch_length(benchmark):
         config={"system": "samya-majority", "duration": DURATION,
                 "epochs": list(EPOCHS)},
         seed=3,
+        metrics=results[EPOCHS[0]].metrics_snapshot,
+        demand=results[EPOCHS[0]].demand_snapshot,
     )
 
 

@@ -17,7 +17,11 @@ def run_all():
     results = {}
     for predictor in PREDICTORS:
         config = ExperimentConfig(
-            system="samya-majority", duration=DURATION, seed=3, predictor=predictor
+            system="samya-majority", duration=DURATION, seed=3, predictor=predictor,
+            # Registry/demand snapshots ride the representative config
+            # (passive; results identical) — "oracle" so the artifact's
+            # prediction scorecard is the interesting one.
+            metrics=predictor == PREDICTORS[0],
         )
         results[predictor] = run_experiment(config)
     return results
@@ -59,6 +63,8 @@ def test_ablation_predictor_choice(benchmark):
         config={"system": "samya-majority", "duration": DURATION,
                 "predictors": list(PREDICTORS)},
         seed=3,
+        metrics=results[PREDICTORS[0]].metrics_snapshot,
+        demand=results[PREDICTORS[0]].demand_snapshot,
     )
 
 

@@ -18,7 +18,10 @@ def run_all():
     results = {}
     for strategy in STRATEGIES:
         config = ExperimentConfig(
-            system="samya-majority", duration=DURATION, seed=3, reallocator=strategy
+            system="samya-majority", duration=DURATION, seed=3, reallocator=strategy,
+            # Registry/demand snapshots ride the representative config
+            # (passive; results identical).
+            metrics=strategy == STRATEGIES[0],
         )
         results[strategy] = run_experiment(config)
     return results
@@ -55,6 +58,8 @@ def test_ablation_reallocation_strategy(benchmark):
         config={"system": "samya-majority", "duration": DURATION,
                 "strategies": list(STRATEGIES)},
         seed=3,
+        metrics=results[STRATEGIES[0]].metrics_snapshot,
+        demand=results[STRATEGIES[0]].demand_snapshot,
     )
 
 

@@ -22,7 +22,11 @@ def run_all():
     results = {}
     for limit in LIMITS:
         config = ExperimentConfig(
-            system="samya-majority", duration=DURATION, seed=3, maximum=limit
+            system="samya-majority", duration=DURATION, seed=3, maximum=limit,
+            # Registry/demand snapshots ride the starved point — the
+            # interesting one for contention telemetry (passive;
+            # results identical).
+            metrics=limit == LIMITS[0],
         )
         results[limit] = run_experiment(config)
     return results
@@ -65,6 +69,8 @@ def test_ext_varying_maximum_limit(benchmark):
         config={"system": "samya-majority", "duration": DURATION,
                 "limits": list(LIMITS)},
         seed=3,
+        metrics=results[LIMITS[0]].metrics_snapshot,
+        demand=results[LIMITS[0]].demand_snapshot,
     )
 
 

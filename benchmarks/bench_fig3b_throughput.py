@@ -98,6 +98,7 @@ def test_fig3b_throughput(benchmark):
         config=BASE,
         seed=BASE.seed,
         metrics=majority.metrics_snapshot,
+        demand=majority.demand_snapshot,
     )
 
 

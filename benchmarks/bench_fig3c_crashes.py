@@ -27,7 +27,9 @@ BASE = ExperimentConfig(
 )
 
 SYSTEMS = {
-    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority"),
+    # metrics rides the registry along (passive; results identical) so
+    # the artifact carries /metrics + demand snapshots.
+    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority", metrics=True),
     "Samya Av.[*]": replace(BASE, system="samya-star"),
     "MultiPaxSys": replace(BASE, system="multipaxsys"),
 }
@@ -93,6 +95,8 @@ def test_fig3c_crash_failures(benchmark):
         },
         config=BASE,
         seed=BASE.seed,
+        metrics=results["Samya Av.[(n+1)/2]"].metrics_snapshot,
+        demand=results["Samya Av.[(n+1)/2]"].demand_snapshot,
     )
 
 

@@ -21,7 +21,9 @@ BASE = ExperimentConfig(duration=DURATION, seed=3)
 
 VARIANTS = {
     "No Constraints (optimal)": replace(BASE, enforce_constraint=False),
-    "Samya Av.[(n+1)/2]": BASE,
+    # metrics rides the registry along (passive; results identical) so
+    # the artifact carries /metrics + demand snapshots.
+    "Samya Av.[(n+1)/2]": replace(BASE, metrics=True),
     "Samya Av.[*]": replace(BASE, system="samya-star"),
     "No Redistribution": replace(BASE, redistribute=False),
 }
@@ -77,6 +79,8 @@ def test_fig3e_constraint_and_redistribution_ablation(benchmark):
         },
         config=BASE,
         seed=BASE.seed,
+        metrics=results["Samya Av.[(n+1)/2]"].metrics_snapshot,
+        demand=results["Samya Av.[(n+1)/2]"].demand_snapshot,
     )
 
 

@@ -19,7 +19,9 @@ DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
 
 VARIANTS = {
-    "Av.[(n+1)/2] + prediction": BASE,
+    # metrics rides the registry along (passive; results identical) so
+    # the artifact carries /metrics + the prediction scorecard.
+    "Av.[(n+1)/2] + prediction": replace(BASE, metrics=True),
     "Av.[(n+1)/2] no prediction (paper-literal)": replace(
         BASE, predictor="none", paper_literal_reactive=True
     ),
@@ -101,6 +103,8 @@ def test_fig3f_proactive_vs_reactive(benchmark):
         },
         config=BASE,
         seed=BASE.seed,
+        metrics=results["Av.[(n+1)/2] + prediction"].metrics_snapshot,
+        demand=results["Av.[(n+1)/2] + prediction"].demand_snapshot,
     )
 
 

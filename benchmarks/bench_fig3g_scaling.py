@@ -27,6 +27,9 @@ def run_all():
                 sites_per_region=scale,
                 demand_scale=float(scale),
                 maximum=5000 * scale,
+                # Registry/demand snapshots ride the representative
+                # point (passive; results identical).
+                metrics=system == "samya-majority" and scale == SCALES[0],
             )
             results[(system, 5 * scale)] = run_experiment(config)
     return results
@@ -74,6 +77,8 @@ def test_fig3g_scalability(benchmark):
         },
         config={"duration": DURATION, "scales": list(SCALES)},
         seed=3,
+        metrics=results[("samya-majority", 5 * SCALES[0])].metrics_snapshot,
+        demand=results[("samya-majority", 5 * SCALES[0])].demand_snapshot,
     )
 
 

@@ -23,7 +23,12 @@ def run_all():
     results = {}
     for ratio in RATIOS:
         for system in ("samya-majority", "multipaxsys"):
-            config = replace(BASE, system=system, read_ratio=ratio)
+            config = replace(
+                BASE, system=system, read_ratio=ratio,
+                # Registry/demand snapshots ride the representative
+                # point (passive; results identical).
+                metrics=system == "samya-majority" and ratio == RATIOS[0],
+            )
             results[(system, ratio)] = run_experiment(config)
     return results
 
@@ -79,6 +84,8 @@ def test_fig3h_read_ratio_crossover(benchmark):
         },
         config=BASE,
         seed=BASE.seed,
+        metrics=results[("samya-majority", RATIOS[0])].metrics_snapshot,
+        demand=results[("samya-majority", RATIOS[0])].demand_snapshot,
     )
 
 

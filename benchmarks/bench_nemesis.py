@@ -67,6 +67,17 @@ def test_nemesis_smoke(benchmark):
             "systems": list(NEMESIS_SYSTEMS),
         },
         seed=SEED,
+        # The audited runs carry an EventBus, so the demand rollup
+        # (token locality under faults) rides along for free.
+        demand=next(
+            (
+                verdict.result.demand_snapshot
+                for system, verdict in report.verdicts.items()
+                if system == "samya-majority"
+                and verdict.result.demand_snapshot is not None
+            ),
+            None,
+        ),
     )
 
 

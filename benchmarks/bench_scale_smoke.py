@@ -37,6 +37,10 @@ def test_scale_smoke(benchmark):
                 rate=RATE,
                 seed=SEED,
                 batching=True,
+                # Demand analytics on the smoke point: O(1) counters per
+                # request, O(K) memory — the sim counters the gate pins
+                # are unchanged, and the artifact gains locality data.
+                demand=True,
             )
         ),
     )
@@ -67,6 +71,7 @@ def test_scale_smoke(benchmark):
                 "regions": 3, "maximum": 30},
         seed=SEED,
         calibration=calibration,
+        demand=result.demand,
     )
 
 

@@ -23,7 +23,9 @@ DURATION = 600.0
 BASE = ExperimentConfig(duration=DURATION, seed=3)
 
 SYSTEMS = {
-    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority"),
+    # metrics rides the registry along (passive; results identical) so
+    # the artifact carries /metrics + demand snapshots.
+    "Samya Av.[(n+1)/2]": replace(BASE, system="samya-majority", metrics=True),
     "Samya Av.[*]": replace(BASE, system="samya-star"),
     "Demarcation/Escrow": replace(BASE, system="demarcation"),
     "MultiPaxSys": replace(BASE, system="multipaxsys"),
@@ -79,6 +81,8 @@ def test_table2b_latency_percentiles(benchmark):
         },
         config=BASE,
         seed=BASE.seed,
+        metrics=results["Samya Av.[(n+1)/2]"].metrics_snapshot,
+        demand=results["Samya Av.[(n+1)/2]"].demand_snapshot,
     )
 
 

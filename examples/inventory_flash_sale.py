@@ -9,7 +9,10 @@ warehouses sit on stock?
 
 This example drives the core API directly (no harness): it builds the
 cluster, hand-crafts the workload, and watches tokens migrate toward the
-demand spike through Avantan redistributions.
+demand spike through Avantan redistributions.  A DemandTracker taps the
+telemetry bus, so the run ends with the same token-locality / hot-entity
+report ``repro trace FILE --demand`` produces — the quantitative answer
+to "did the Asian sites starve?".
 
 Run:  python examples/inventory_flash_sale.py
 """
@@ -24,6 +27,7 @@ from repro.harness.report import format_table
 from repro.metrics import ConservationChecker, MetricsHub
 from repro.net import Network
 from repro.net.regions import PAPER_REGIONS, Region
+from repro.obs import DemandTap, DemandTracker, EventBus, NullSink
 from repro.prediction import SeasonalNaivePredictor
 from repro.sim import Kernel
 
@@ -46,9 +50,18 @@ def shopping_stream(rng: random.Random, region: Region) -> list[Operation]:
     return operations
 
 
-def main() -> None:
+def run_flash_sale():
+    """Run the scenario; returns (cluster, metrics, demand tracker, rows)."""
     kernel = Kernel(seed=7)
     network = Network(kernel)
+    # The demand plane rides the telemetry bus: a NullSink keeps the
+    # events off disk, the tap folds them into locality/starvation
+    # analytics as they happen (sites find the bus via kernel.obs).
+    bus = EventBus(kernel, NullSink())
+    kernel.obs = bus
+    network.obs = bus
+    demand = DemandTracker()
+    bus.subscribe(DemandTap(demand))
     product = Entity("gadget", STOCK)
     cluster = SamyaCluster(
         kernel=kernel,
@@ -78,7 +91,13 @@ def main() -> None:
     kernel.run(until=DURATION)
     rows.append(snapshot("after sale"))
     checker.check()
+    return cluster, metrics, demand, rows
 
+
+def main() -> None:
+    from repro.obs import format_demand_report
+
+    cluster, metrics, demand, rows = run_flash_sale()
     print(
         format_table(
             ["moment"] + [site.region.value for site in cluster.sites],
@@ -105,6 +124,11 @@ def main() -> None:
             title="Flash-sale outcome",
         )
     )
+    print()
+    # The demand report answers the question the snapshots only hint
+    # at: what fraction of checkouts were served from locally held
+    # stock (vs stalled behind a redistribution), per region.
+    print(format_demand_report(demand, source="flash-sale run"))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@ Examples::
     python -m repro trace --days 7
     python -m repro run --trace t.jsonl --duration 60
     python -m repro trace t.jsonl --validate
+    python -m repro trace t.jsonl --demand
+    python -m repro top --duration 20
     python -m repro nemesis --seed 7 --audit
 
 Every command prints the same tables the benchmark harness does.
@@ -233,6 +235,7 @@ def _summarize_trace_file(
     audit: bool,
     critical_path: bool = False,
     max_requests: int = 50,
+    demand: bool = False,
 ) -> int:
     """Each pass streams the file (``iter_trace``) — a 100k-entity scale
     trace never materializes as a list, whatever its size."""
@@ -242,8 +245,10 @@ def _summarize_trace_file(
         audit_events,
         format_audit_report,
         format_critical_path_report,
+        format_demand_report,
         format_trace_summary,
         iter_trace,
+        track_demand,
         validate_event,
     )
 
@@ -264,6 +269,10 @@ def _summarize_trace_file(
             print(f"validated {count} events against {SCHEMA}")
             print()
         print(format_trace_summary(iter_trace(path), source=path))
+        if demand:
+            tracker = track_demand(iter_trace(path))
+            print()
+            print(format_demand_report(tracker, source=path))
         if critical_path:
             report = analyze_critical_paths(
                 iter_trace(path), max_requests=max_requests
@@ -290,6 +299,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             audit=args.audit,
             critical_path=args.critical_path,
             max_requests=args.max_requests,
+            demand=args.demand,
         )
     trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
     stats = trace.demand_stats()
@@ -304,6 +314,100 @@ def cmd_trace(args: argparse.Namespace) -> int:
     day = [(float(i), float(v)) for i, v in enumerate(trace.demand[:per_day])]
     print()
     print(format_series(day, title="day 1", x_label="interval", y_label="VM creations"))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live contention view (plain ANSI, curses-free).
+
+    Frames render from the in-flight DemandTracker; ``--once`` skips
+    the animation and prints exactly one final frame after the run (the
+    CI smoke, and the sane default when stdout is not a terminal).
+    """
+    from repro.obs.top import CLEAR, render_top
+
+    animate = not args.once
+    in_place = animate and sys.stdout.isatty()
+
+    def emit_frame(tracker, clock: float, final: bool = False) -> None:
+        if tracker is None:
+            print("demand tracking is not enabled for this run", file=sys.stderr)
+            return
+        text = render_top(
+            tracker,
+            clock=clock,
+            title=f"repro top — {args.mode}",
+            max_entities=args.top,
+        )
+        prefix = CLEAR if in_place and not final else ""
+        print(prefix + text, flush=True, end="")
+        if not in_place and not final:
+            print(flush=True)
+
+    if args.mode == "scale":
+        from repro.scale import ScaleConfig, run_scale
+        from repro.scale.harness import build_scale_deployment
+
+        config = ScaleConfig(
+            entities=args.entities,
+            duration=args.duration,
+            rate=args.rate,
+            seed=args.seed,
+            demand=True,
+        )
+        deployment = build_scale_deployment(config)
+        if animate:
+            def frame() -> None:
+                emit_frame(deployment.demand, deployment.kernel.now)
+                if deployment.kernel.now < config.duration:
+                    deployment.kernel.schedule(args.refresh, frame)
+
+            deployment.kernel.schedule(args.refresh, frame)
+        result = run_scale(config, deployment=deployment)
+        emit_frame(deployment.demand, result.sim_time, final=True)
+        return 0
+
+    # Sim and live paths share the experiment harness; metrics forces
+    # the EventBus, which is what carries the DemandTap.
+    config = replace(_base_config(args), metrics=True)
+
+    if args.mode == "live":
+        from repro.runtime.cluster import LiveCluster
+
+        on_tick = None
+        if animate:
+            def on_tick(experiment) -> None:
+                emit_frame(experiment.demand, experiment.kernel.now)
+
+        cluster = LiveCluster(
+            config,
+            metrics_port=args.metrics_port,
+            on_tick=on_tick,
+            tick_interval=args.refresh,
+        )
+        cluster.run()
+        experiment = cluster.experiment
+        emit_frame(
+            experiment.demand if experiment is not None else None,
+            args.duration,
+            final=True,
+        )
+        return 0
+
+    from repro.harness.experiment import Experiment
+
+    experiment = Experiment(config)
+    if animate:
+        def frame() -> None:
+            emit_frame(experiment.demand, experiment.kernel.now)
+            if experiment.kernel.now < config.duration:
+                experiment.kernel.schedule(args.refresh, frame)
+
+        experiment.kernel.schedule(args.refresh, frame)
+    experiment.start()
+    experiment.kernel.run(until=config.duration)
+    experiment.collect()
+    emit_frame(experiment.demand, experiment.kernel.now, final=True)
     return 0
 
 
@@ -711,6 +815,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--audit", action="store_true",
                               help="run the invariant auditor offline over "
                                    "the trace; violations exit non-zero")
+    trace_parser.add_argument("--demand", action="store_true",
+                              help="report token locality, hot entities "
+                                   "(bounded top-K sketch), and the "
+                                   "prediction scorecard from the trace")
     trace_parser.add_argument("--critical-path", action="store_true",
                               help="reconstruct sampled request flows and "
                                    "attribute their latency to protocol "
@@ -722,6 +830,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--days", type=float, default=7.0)
     trace_parser.add_argument("--seed", type=int, default=7)
     trace_parser.set_defaults(func=cmd_trace)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live contention view: hot entities (bounded top-K sketch), "
+             "token locality by site, prediction scorecard — refreshed "
+             "in place with plain ANSI (no curses)",
+    )
+    top_parser.add_argument("--mode", choices=("sim", "live", "scale"),
+                            default="sim",
+                            help="substrate: discrete-event sim (default), "
+                                 "live asyncio (wall-clock), or the scale "
+                                 "subsystem")
+    top_parser.add_argument("--system", choices=SYSTEMS, default="samya-majority")
+    top_parser.add_argument("--refresh", type=float, default=1.0,
+                            metavar="SECS",
+                            help="substrate seconds between frames (default 1)")
+    top_parser.add_argument("--once", action="store_true",
+                            help="print one final frame after the run "
+                                 "instead of animating (the CI smoke)")
+    top_parser.add_argument("--top", type=int, default=10, metavar="K",
+                            help="hot entities shown per frame (default 10)")
+    top_parser.add_argument("--entities", type=int, default=10_000,
+                            help="entity count (scale mode, default 10000)")
+    top_parser.add_argument("--rate", type=float, default=4000.0,
+                            help="requests/sec per region (scale mode)")
+    top_parser.add_argument("--metrics-port", type=int, default=None,
+                            metavar="PORT",
+                            help="also serve Prometheus /metrics during a "
+                                 "live-mode run (0 = pick a free port)")
+    _add_experiment_args(top_parser)
+    # 120 s of animation is a lot of terminal; default shorter.
+    top_parser.set_defaults(func=cmd_top, duration=30.0)
 
     profile_parser = sub.add_parser(
         "profile",

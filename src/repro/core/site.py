@@ -90,6 +90,12 @@ class SamyaSite(Actor):
         )
         self._busy_until = 0.0
         self._draining = False
+        self._epoch_index = 0
+        #: Forecast stashed at the previous epoch close — the demand the
+        #: predictor expected for the epoch now closing.  Only computed
+        #: on traced runs (all harness predictors forecast purely, so
+        #: the extra call cannot perturb untraced determinism).
+        self._last_forecast: float | None = None
         self._last_proactive_check = -math.inf
         self._last_trigger_at = -math.inf
         self._deferred_trigger: Any = None
@@ -231,20 +237,20 @@ class SamyaSite(Actor):
             self._persist_entity()
             self.counters["granted_releases"] += 1
             self.counters["released_tokens"] += request.amount
-            self._respond(fwd, RequestStatus.GRANTED)
+            self._respond(fwd, RequestStatus.GRANTED, waited=draining)
             return
         if not self.config.enforce_constraint:
             # "No Constraints" ablation (§5.5): every acquire succeeds.
             self.counters["granted_acquires"] += 1
             self.counters["acquired_tokens"] += request.amount
-            self._respond(fwd, RequestStatus.GRANTED)
+            self._respond(fwd, RequestStatus.GRANTED, waited=draining)
             return
         if 0 < request.amount <= self._available_tokens():
             self.state.acquire(request.amount)
             self._persist_entity()
             self.counters["granted_acquires"] += 1
             self.counters["acquired_tokens"] += request.amount
-            self._respond(fwd, RequestStatus.GRANTED)
+            self._respond(fwd, RequestStatus.GRANTED, waited=draining)
             self._maybe_proactive()
             return
         # Cannot serve locally.
@@ -253,7 +259,7 @@ class SamyaSite(Actor):
                 if self.protocol.degraded:
                     # Blocked round: nothing more is coming; reject fast.
                     self.counters["rejected"] += 1
-                    self._respond(fwd, RequestStatus.REJECTED)
+                    self._respond(fwd, RequestStatus.REJECTED, waited=draining)
                     return
                 # A round is in flight; its outcome answers this request.
                 self._queue_pending(fwd)
@@ -272,15 +278,24 @@ class SamyaSite(Actor):
             # the cluster is genuinely short right now.  Reject fast
             # instead of stranding the client through the cooldown.
         self.counters["rejected"] += 1
-        self._respond(fwd, RequestStatus.REJECTED)
+        self._respond(fwd, RequestStatus.REJECTED, waited=draining)
 
     def _queue_pending(self, fwd: ForwardedRequest) -> None:
         self._pending.append(fwd)
         self._pending_ids.add(fwd.request.request_id)
 
-    def _respond(self, fwd: ForwardedRequest, status: RequestStatus, value: int | None = None) -> None:
+    def _respond(
+        self,
+        fwd: ForwardedRequest,
+        status: RequestStatus,
+        value: int | None = None,
+        waited: bool = False,
+    ) -> None:
         obs = self.obs
         if obs is not None:
+            # ``waited``: the request was answered from a queue drain —
+            # it rode out an Avantan round instead of being served from
+            # locally held tokens (the token-locality split).
             obs.emit(
                 "site.serve",
                 node=self.name,
@@ -288,6 +303,8 @@ class SamyaSite(Actor):
                 kind=fwd.request.kind.value,
                 amount=fwd.request.amount,
                 tokens_left=self.state.tokens_left,
+                entity=self.entity.id,
+                waited=waited,
                 trace_id=f"req-{fwd.request.request_id}",
             )
         response = ClientResponse(
@@ -314,14 +331,21 @@ class SamyaSite(Actor):
         demand = self.history.close_epoch()
         if self.predictor is not None:
             self.predictor.update(demand)
+        self._epoch_index += 1
         obs = self.obs
         if obs is not None:
-            obs.emit(
-                "epoch.close",
-                node=self.name,
-                demand=demand,
-                tokens_left=self.state.tokens_left,
-            )
+            fields: dict[str, Any] = {
+                "demand": demand,
+                "tokens_left": self.state.tokens_left,
+                "epoch": self._epoch_index,
+            }
+            if self._last_forecast is not None:
+                # The forecast made for *this* epoch, one close ago —
+                # the prediction scorecard joins it against ``demand``.
+                fields["predicted"] = self._last_forecast
+            obs.emit("epoch.close", node=self.name, **fields)
+            if self.config.proactive and self.predictor is not None:
+                self._last_forecast = float(self.predict_next_epoch())
         self._schedule_epoch()
 
     def predict_next_epoch(self) -> int:

@@ -37,6 +37,7 @@ from repro.net.regions import MULTIPAXSYS_REGIONS, PAPER_REGIONS, Region
 from repro.obs import prof
 from repro.obs.audit import InvariantAuditor
 from repro.obs.bus import EventBus, JsonlSink, NullSink, Sink
+from repro.obs.demand import DemandTap, DemandTracker, emit_demand_events
 from repro.obs.perf import PerfRecorder, PerfSpanTap
 from repro.obs.registry import MetricsRegistry, TraceMetricsFeed
 from repro.obs.schema import SCHEMA
@@ -189,6 +190,10 @@ class ExperimentResult:
     #: Wall-clock perf histogram dump (config.perf): per instrument/key,
     #: count + mean/p50/p95/p99/max ms (see PerfRecorder.snapshot).
     perf_snapshot: dict | None = None
+    #: Demand/contention rollup (any traced/monitored run): token
+    #: locality per site, hot-entity sketch, prediction scorecard
+    #: (see DemandTracker.snapshot; lands in bench ``demand`` sections).
+    demand_snapshot: dict | None = None
 
     @property
     def committed_total(self) -> int:
@@ -255,6 +260,12 @@ class Experiment:
                 self.obs.subscribe(self.auditor)
             self.registry = MetricsRegistry()
             self.obs.subscribe(TraceMetricsFeed(self.registry))
+        self.demand: DemandTracker | None = None
+        if self.obs is not None:
+            # The demand tracker rides every monitored run, like the
+            # registry: O(sites + K) state, no emits, no randomness.
+            self.demand = DemandTracker()
+            self.obs.subscribe(DemandTap(self.demand))
         self.perf_recorder: PerfRecorder | None = None
         if config.perf:
             self.perf_recorder = PerfRecorder()
@@ -548,6 +559,10 @@ class Experiment:
         )
         obs = self.obs
         if obs is not None:
+            if self.demand is not None:
+                # The harness owns the bus, so writing the demand.*
+                # rollups here is not tap re-entry.
+                emit_demand_events(obs, self.demand)
             obs.emit(
                 "run.end",
                 committed=result.committed,
@@ -567,6 +582,8 @@ class Experiment:
             result.metrics_snapshot = self.registry.snapshot()
         if self.perf_recorder is not None:
             result.perf_snapshot = self.perf_recorder.snapshot()
+        if self.demand is not None:
+            result.demand_snapshot = self.demand.snapshot()
         return result
 
     def run(self) -> ExperimentResult:

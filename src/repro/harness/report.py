@@ -110,6 +110,7 @@ def write_bench_json(
     out_dir: str | os.PathLike | None = None,
     metrics: dict[str, Any] | None = None,
     calibration: float | None = None,
+    demand: dict[str, Any] | None = None,
 ) -> Path:
     """Write ``BENCH_<name>.json``: headline numbers + provenance.
 
@@ -120,7 +121,11 @@ def write_bench_json(
     (serialized via ``dataclasses.asdict``), a plain dict, or ``None``.
     Non-JSON values (Region enums, TraceConfig) fall back to ``str``.
     ``metrics`` embeds a point-in-time registry snapshot
-    (``ExperimentResult.metrics_snapshot``).  ``calibration`` stamps
+    (``ExperimentResult.metrics_snapshot``); ``demand`` embeds the
+    contention rollup (``ExperimentResult.demand_snapshot``: token
+    locality, hot-entity sketch, prediction scorecard) — both are
+    informational sections the regression gate never compares (it keys
+    on ``headline`` only).  ``calibration`` stamps
     the machine's reference dispatch rate
     (``harness.calibration.calibration_point``) so the regression gate
     can compare wall-clock metrics across machines as ratios.  The
@@ -145,6 +150,8 @@ def write_bench_json(
         payload["seed"] = seed
     if metrics is not None:
         payload["metrics"] = metrics
+    if demand is not None:
+        payload["demand"] = demand
     if calibration is not None:
         payload["calibration"] = round(calibration, 1)
     path = directory / f"BENCH_{name}.json"

@@ -45,6 +45,15 @@ from repro.obs.critical_path import (
     analyze_critical_paths,
     format_critical_path_report,
 )
+from repro.obs.demand import (
+    DemandConfig,
+    DemandTap,
+    DemandTracker,
+    SpaceSavingSketch,
+    emit_demand_events,
+    format_demand_report,
+    track_demand,
+)
 from repro.obs.perf import (
     PerfHistogram,
     PerfRecorder,
@@ -60,8 +69,12 @@ from repro.obs.schema import (
     validate_events,
 )
 from repro.obs.summary import format_trace_summary
+from repro.obs.top import render_top
 
 __all__ = [
+    "DemandConfig",
+    "DemandTap",
+    "DemandTracker",
     "EventBus",
     "InvariantAuditor",
     "JsonlSink",
@@ -72,16 +85,21 @@ __all__ = [
     "PerfSpanTap",
     "RingSink",
     "SCHEMA",
+    "SpaceSavingSketch",
     "TraceMetricsFeed",
     "analyze_critical_paths",
     "audit_events",
+    "emit_demand_events",
     "feed_registry",
     "format_audit_report",
     "format_critical_path_report",
+    "format_demand_report",
     "format_trace_summary",
     "iter_trace",
     "read_trace",
     "render_perf_prometheus",
+    "render_top",
+    "track_demand",
     "trace_id_of",
     "validate_event",
     "validate_events",

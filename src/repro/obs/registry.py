@@ -38,6 +38,22 @@ name                            kind       labels
 ``tokens_left``                 gauge      ``node``
 ``clock_seconds``               gauge      —
 ==============================  =========  ==============================
+
+Demand/contention families (the efficiency story — fed from the same
+``site.serve`` / ``epoch.close`` events, present whenever the producer
+stamps the optional ``entity``/``waited``/``predicted`` fields):
+
+====================================  =======  =======================
+name                                  kind     labels
+====================================  =======  =======================
+``demand_requests_total``             counter  ``node``, ``path`` (local/waited)
+``demand_rejected_total``             counter  ``node``
+``demand_starved_total``              counter  ``node``
+``demand_locality_ratio``             gauge    ``node``
+``demand_entity_requests_total``      counter  ``entity`` (cap-bounded)
+``demand_prediction_error``           gauge    ``node``
+``demand_prediction_mape_pct``        gauge    ``node``
+====================================  =======  =======================
 """
 
 from __future__ import annotations
@@ -303,6 +319,43 @@ class TraceMetricsFeed:
         self.clock = registry.gauge(
             "repro_clock_seconds", "Substrate clock of the last event"
         )
+        self.demand_requests = registry.counter(
+            "repro_demand_requests_total",
+            "Granted acquires by how they were served",
+            ("node", "path"),
+        )
+        self.demand_rejected = registry.counter(
+            "repro_demand_rejected_total", "Rejected acquires", ("node",)
+        )
+        self.demand_starved = registry.counter(
+            "repro_demand_starved_total",
+            "Acquires that waited on a round and were still rejected",
+            ("node",),
+        )
+        self.demand_locality = registry.gauge(
+            "repro_demand_locality_ratio",
+            "local / (local + waited) granted acquires",
+            ("node",),
+        )
+        self.demand_entity = registry.counter(
+            "repro_demand_entity_requests_total",
+            "Requests per entity (long tail collapses at the cell cap)",
+            ("entity",),
+        )
+        self.demand_pred_error = registry.gauge(
+            "repro_demand_prediction_error",
+            "Last epoch's signed forecast error (predicted - observed)",
+            ("node",),
+        )
+        self.demand_pred_mape = registry.gauge(
+            "repro_demand_prediction_mape_pct",
+            "Running mean absolute percentage forecast error",
+            ("node",),
+        )
+        #: node -> [local, waited] running split for the locality gauge.
+        self._locality: dict[str, list[int]] = {}
+        #: node -> [ape_sum, ape_count] running MAPE accumulators.
+        self._mape: dict[str, list[float]] = {}
 
     def __call__(self, event: Mapping[str, Any]) -> None:
         etype = event.get("type", "")
@@ -342,8 +395,43 @@ class TraceMetricsFeed:
             self.invariant_violations.inc(str(event.get("invariant", "?")))
         elif etype == "site.serve":
             tokens = event.get("tokens_left")
+            node = str(event.get("node", ""))
             if isinstance(tokens, int):
-                self.tokens_left.set(str(event.get("node", "")), value=float(tokens))
+                self.tokens_left.set(node, value=float(tokens))
+            entity = event.get("entity")
+            if isinstance(entity, str) and entity:
+                self.demand_entity.inc(entity)
+            if event.get("kind") == "acquire" and "waited" in event:
+                waited = bool(event.get("waited"))
+                status = event.get("status")
+                if status == "granted":
+                    path = "waited" if waited else "local"
+                    self.demand_requests.inc(node, path)
+                    split = self._locality.setdefault(node, [0, 0])
+                    split[1 if waited else 0] += 1
+                    self.demand_locality.set(
+                        node, value=split[0] / (split[0] + split[1])
+                    )
+                elif status == "rejected":
+                    self.demand_rejected.inc(node)
+                    if waited:
+                        self.demand_starved.inc(node)
+        elif etype == "epoch.close":
+            predicted = event.get("predicted")
+            if isinstance(predicted, (int, float)) and not isinstance(
+                predicted, bool
+            ):
+                node = str(event.get("node", ""))
+                observed = float(event.get("demand", 0.0) or 0.0)
+                error = float(predicted) - observed
+                self.demand_pred_error.set(node, value=round(error, 6))
+                if observed > 0:
+                    acc = self._mape.setdefault(node, [0.0, 0.0])
+                    acc[0] += abs(error) / observed
+                    acc[1] += 1.0
+                    self.demand_pred_mape.set(
+                        node, value=round(100.0 * acc[0] / acc[1], 6)
+                    )
 
 
 def feed_registry(events: Iterable[Mapping[str, Any]]) -> MetricsRegistry:

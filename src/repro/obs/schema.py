@@ -26,6 +26,9 @@ The taxonomy, by layer:
   ``avantan.round`` and ``avantan.phase.*`` spans, §5.8 ``read`` spans.
 * ``site.serve`` / ``realloc.*`` / ``epoch.close`` — the Samya request
   handling and redistribution modules' decision points.
+* ``demand.*`` — end-of-run contention rollups (token locality per
+  site, bounded hot-entity sketch, prediction scorecard) written from
+  :class:`repro.obs.demand.DemandTracker` by the experiment harness.
 * ``consensus.commit`` — log application in the Paxos/Raft baselines.
 * ``request.shed`` — client-side load shedding (window full).
 * ``substrate.health`` — live-run drift and transport counters
@@ -116,7 +119,16 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
     },
     "site.serve": {
         "required": {"status": _STR},
-        "optional": {"trace_id": _STR, "kind": _STR, "amount": _INT, "tokens_left": _INT},
+        "optional": {
+            "trace_id": _STR,
+            "kind": _STR,
+            "amount": _INT,
+            "tokens_left": _INT,
+            "entity": _STR,
+            # True when the request was answered from a queue drain —
+            # it waited on an Avantan round instead of local tokens.
+            "waited": (bool,),
+        },
     },
     "realloc.trigger": {
         "required": {"reason": _STR},
@@ -128,7 +140,34 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
     },
     "epoch.close": {
         "required": {"demand": _NUM},
-        "optional": {"tokens_left": _INT},
+        # ``predicted`` is the forecast the site made for *this* epoch
+        # at the previous close — the join the prediction scorecard runs.
+        "optional": {"tokens_left": _INT, "predicted": _NUM, "epoch": _INT},
+    },
+    # ``demand.*`` — end-of-run contention rollups written by the bus
+    # owner (the experiment harness) from the DemandTracker: per-site
+    # locality, the bounded hot-entity sketch, and the scorecard join.
+    "demand.site": {
+        "required": {"local": _INT, "waited": _INT, "rejected": _INT},
+        "optional": {
+            "starved": _INT,
+            "triggers": _INT,
+            "locality": _NUM,
+            "mape_pct": _NUM,
+        },
+    },
+    "demand.entity": {
+        "required": {"entity": _STR, "requests": _INT},
+        "optional": {
+            "error": _INT,
+            "local": _INT,
+            "waited": _INT,
+            "rejected": _INT,
+        },
+    },
+    "demand.scorecard": {
+        "required": {"epoch": _INT, "predicted": _NUM, "observed": _NUM},
+        "optional": {"error": _NUM, "ape_pct": _NUM},
     },
     "consensus.commit": {
         "required": {"index": _INT},

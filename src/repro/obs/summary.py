@@ -7,10 +7,13 @@ story behind Fig. 3b-3h and Table 2b), and request outcomes.
 :class:`TraceSummaryBuilder` folds the whole summary in **one pass**
 over the event stream with bounded state — span durations live in
 log-bucketed :class:`~repro.obs.perf.PerfHistogram`\\ s instead of raw
-sample lists, so a 100k-entity scale trace summarizes in memory
-proportional to the number of *distinct* span names and region pairs,
-not the number of events.  The legacy per-table row functions remain
-for callers that already hold a list.
+sample lists, and per-entity accounting lives in a bounded
+:class:`~repro.obs.demand.SpaceSavingSketch` (top-K heavy hitters,
+never a per-entity dict) — so a 100k-entity scale trace summarizes in
+memory proportional to the number of *distinct* span names, region
+pairs, and the sketch capacity, not the number of events or entities.
+The legacy per-table row functions remain for callers that already
+hold a list.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from collections import Counter, defaultdict
 from typing import Any, Iterable
 
 from repro.metrics.latency import percentile
+from repro.obs.demand import SpaceSavingSketch
 from repro.obs.perf import PerfHistogram
 
 # NOTE: repro.harness.report is imported lazily inside
@@ -153,10 +157,15 @@ class TraceSummaryBuilder:
     histograms (exact count/mean/max, quantiles within one bucket ratio).
     """
 
+    #: Sketch capacity for the hottest-entities table: bounded per-entity
+    #: accounting — the streaming path must never grow O(entities) state.
+    ENTITY_TOP_K = 16
+
     def __init__(self) -> None:
         self.events = 0
         self.meta: dict[str, Any] | None = None
         self.spans: dict[str, PerfHistogram] = {}
+        self.entities = SpaceSavingSketch(self.ENTITY_TOP_K)
         self.sent: Counter[str] = Counter()
         self.delivered: Counter[str] = Counter()
         self.dropped: Counter[str] = Counter()
@@ -179,6 +188,10 @@ class TraceSummaryBuilder:
             hist.record(float(event["dur"]))
             if span == "request":
                 self.outcomes[event["outcome"]] += 1
+        elif etype == "site.serve":
+            entity = event.get("entity")
+            if isinstance(entity, str) and entity:
+                self.entities.update(entity)
         elif etype == "msg.send":
             self.sent[event["msg_type"]] += 1
         elif etype == "msg.deliver":
@@ -285,6 +298,20 @@ class TraceSummaryBuilder:
         if outcomes:
             sections.append(
                 format_table(["outcome", "count"], outcomes, title="request outcomes")
+            )
+        hot = self.entities.items()
+        # Only worth a table when entities are actually contended; a
+        # single-entity trace (the core harness) says nothing new here.
+        if len(hot) > 1:
+            sections.append(
+                format_table(
+                    ["entity", "served requests", "max over-count"],
+                    [[entity, count, error] for entity, count, error in hot],
+                    title=(
+                        f"hottest entities (space-saving "
+                        f"top-{self.entities.capacity})"
+                    ),
+                )
             )
         if self.faults:
             sections.append(

@@ -1,0 +1,96 @@
+"""The ``repro top`` live terminal view (curses-free, plain ANSI).
+
+Renders one text frame from a :class:`~repro.obs.demand.DemandTracker`:
+hottest entities with token residency by region, per-site locality and
+demand sparklines, and the predictor scorecard.  The frame is a plain
+string — the CLI decides whether to home-and-clear between frames
+(live refresh) or print exactly one (``--once``, the CI smoke), so the
+renderer itself stays deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from repro.obs.demand import DemandTracker
+
+#: ANSI: cursor home + erase below — repaints in place without
+#: scrollback spam (no curses, works on any VT100-ish terminal).
+CLEAR = "\x1b[H\x1b[J"
+
+_SPARKS = " .:-=+*#%@"
+
+
+def _spark(values: list[int]) -> str:
+    if not values:
+        return "-"
+    peak = max(values) or 1
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, (value * (len(_SPARKS) - 1)) // peak)]
+        for value in values
+    )
+
+
+def _pct(value: float | None) -> str:
+    return f"{100.0 * value:5.1f}%" if value is not None else "    - "
+
+
+def render_top(
+    tracker: DemandTracker,
+    clock: float = 0.0,
+    title: str = "repro top",
+    max_entities: int = 10,
+) -> str:
+    """One frame: header, hot entities, per-site locality, scorecard."""
+    lines: list[str] = []
+    lines.append(
+        f"{title} — t={clock:8.1f}s  requests={tracker.requests}  "
+        f"locality={_pct(tracker.locality_ratio).strip()}"
+    )
+    lines.append("")
+
+    hot = tracker.hot_rows()[:max_entities]
+    if hot:
+        lines.append(
+            f"{'entity':<12} {'req':>8} {'local':>7} {'waited':>7} "
+            f"{'rej':>6} {'loc%':>6}  residency"
+        )
+        for row in hot:
+            served = row["local"] + row["waited"]
+            loc = row["local"] / served if served else None
+            residency = " ".join(
+                f"{site}:{left}" for site, left in row["tokens"].items()
+            ) or "-"
+            lines.append(
+                f"{row['entity']:<12} {row['requests']:>8} {row['local']:>7} "
+                f"{row['waited']:>7} {row['rejected']:>6} {_pct(loc):>6}  "
+                f"{residency}"
+            )
+    else:
+        lines.append("(no entity traffic yet)")
+    lines.append("")
+
+    if tracker.sites:
+        lines.append(
+            f"{'site':<28} {'local':>8} {'waited':>7} {'rej':>6} "
+            f"{'starv':>6} {'loc%':>6} {'tokens':>7} {'err':>7} {'MAPE':>7}  demand"
+        )
+        for name in sorted(tracker.sites):
+            site = tracker.sites[name]
+            windows = [count for _, count in site.windows]
+            if site.window_count:
+                windows = windows + [site.window_count]
+            err = (
+                f"{site.error_sum / site.ape_count:+.0f}"
+                if site.ape_count
+                else "-"
+            )
+            mape = f"{site.mape_pct:.0f}%" if site.ape_count else "-"
+            tokens = site.tokens_left if site.tokens_left is not None else "-"
+            lines.append(
+                f"{name:<28} {site.local:>8} {site.waited:>7} "
+                f"{site.rejected:>6} {site.starved:>6} "
+                f"{_pct(site.locality_ratio):>6} {tokens!s:>7} {err:>7} "
+                f"{mape:>7}  {_spark(windows)}"
+            )
+    else:
+        lines.append("(no sites yet)")
+    return "\n".join(lines) + "\n"

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.runtime.asyncio_transport import AsyncioTransport, GeoDelayModel
@@ -51,6 +52,8 @@ class LiveCluster:
         transport: str = "asyncio",
         latency_scale: float = DEFAULT_LATENCY_SCALE,
         metrics_port: int | None = None,
+        on_tick: Callable[["object"], None] | None = None,
+        tick_interval: float = 1.0,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; pick from {TRANSPORTS}")
@@ -64,6 +67,15 @@ class LiveCluster:
         self.transport_kind = transport
         self.latency_scale = latency_scale
         self.metrics_port = metrics_port
+        #: Optional in-flight observer: called with the running
+        #: Experiment every ``tick_interval`` wall seconds (``repro top``
+        #: renders its live frames from this).  Exceptions propagate and
+        #: fail the run, same as any other callback.
+        self.on_tick = on_tick
+        self.tick_interval = tick_interval
+        #: The Experiment under way — readable while the run is in
+        #: flight (e.g. by signal handlers wanting a final frame).
+        self.experiment = None
         #: Port /metrics actually bound (resolves metrics_port=0) —
         #: readable while the run is in flight.
         self.bound_metrics_port: int | None = None
@@ -117,8 +129,18 @@ class LiveCluster:
             )
         stats = LiveRunStats(clock, transport)
         stats.install()
+        self.experiment = experiment
         experiment.start()
+        ticker = None
+        if self.on_tick is not None:
+            ticker = asyncio.ensure_future(self._tick_loop(experiment))
         await asyncio.sleep(config.duration)
+        if ticker is not None:
+            ticker.cancel()
+            try:
+                await ticker
+            except asyncio.CancelledError:
+                pass
         if metrics_server is not None:
             await metrics_server.stop()
         await transport.aclose()
@@ -133,6 +155,11 @@ class LiveCluster:
         transport.raise_errors()
         result = experiment.collect()
         return LiveReport(result=result, stats=stats.as_dict(), transport=self.transport_kind)
+
+    async def _tick_loop(self, experiment) -> None:
+        while True:
+            await asyncio.sleep(self.tick_interval)
+            self.on_tick(experiment)
 
 
 def run_live(

@@ -83,6 +83,11 @@ class ScaleConfig:
     #: Message-plane events only — per-entity protocol spans at 10^5
     #: entities would swamp any trace, so scale hosts expose no bus.
     trace_path: str | None = None
+    #: Track demand/locality analytics: injects one shared
+    #: :class:`~repro.obs.demand.DemandTracker` into every host's local
+    #: request path (O(1) counter updates per request, O(K) memory).
+    #: Off by default — the sweep's request loop is the hot path.
+    demand: bool = False
     site: ScaleSiteConfig = field(default_factory=ScaleSiteConfig)
 
     def __post_init__(self) -> None:
@@ -228,6 +233,8 @@ class ScaleDeployment:
     directory: ShardedEntityDirectory
     config: ScaleConfig
     obs: Any = None
+    #: Shared DemandTracker when ``config.demand`` asked for one.
+    demand: Any = None
 
 
 def build_scale_deployment(
@@ -283,6 +290,14 @@ def build_scale_deployment(
     for host in hosts:
         host.connect(names)
 
+    demand = None
+    if config.demand:
+        from repro.obs.demand import DemandTracker
+
+        demand = DemandTracker()
+        for host in hosts:
+            host.demand = demand
+
     directory = ShardedEntityDirectory()
     shares = split_initial_allocation(config.maximum, len(hosts))
     record = tuple(hosts)
@@ -319,6 +334,7 @@ def build_scale_deployment(
         directory=directory,
         config=config,
         obs=obs,
+        demand=demand,
     )
 
 
@@ -430,6 +446,9 @@ class ScaleResult:
     drained: bool
     audited: int
     violations: list[str]
+    #: ``DemandTracker.snapshot()`` when ``config.demand`` was set —
+    #: informational (never part of the gated headline).
+    demand: dict[str, Any] | None = None
 
     @property
     def wall_events_per_sec(self) -> float:
@@ -541,6 +560,11 @@ def run_scale(
         drained=drained,
         audited=audited,
         violations=violations,
+        demand=(
+            deployment.demand.snapshot()
+            if deployment.demand is not None
+            else None
+        ),
     )
     if keep_deployment:
         return result, deployment

@@ -250,6 +250,13 @@ class ScaleSiteHost(Actor):
         #: entity ids with a deferred (cooldown-parked) retrigger.
         self._deferred: set[str] = set()
         self._envelopes = EnvelopeDedup(self.config.msg_dedup_window)
+        #: Optional :class:`~repro.obs.demand.DemandTracker`, injected by
+        #: the deployment builder.  The scale request path is a local
+        #: call, not a message — per-request events would swamp any
+        #: trace at 10^5 entities — so demand telemetry here is direct
+        #: O(1) tracker updates behind the same ``is None`` seam every
+        #: other instrumentation point uses.
+        self.demand = None
         self.rounds_triggered = 0
         self.rounds_applied = 0
         self.unknown_entity = 0
@@ -301,10 +308,16 @@ class ScaleSiteHost(Actor):
             self.unknown_entity += 1
             return "unknown"
         table = self.table
+        demand = self.demand
         if not acquire:
             table.tokens_left[row] += amount
             table.released[row] += amount
             table.committed[row] += 1
+            if demand is not None:
+                demand.serve(
+                    self.name, entity_id, "granted", kind="release",
+                    tokens_left=table.tokens_left[row], ts=self.now,
+                )
             return "committed"
         adapter = self._protocols.get(entity_id)
         active = adapter is not None and adapter.protocol.active
@@ -316,9 +329,19 @@ class ScaleSiteHost(Actor):
             table.tokens_left[row] -= amount
             table.acquired[row] += amount
             table.committed[row] += 1
+            if demand is not None:
+                demand.serve(
+                    self.name, entity_id, "granted",
+                    tokens_left=table.tokens_left[row], ts=self.now,
+                )
             return "committed"
         if not self.config.redistribute or (active and adapter.protocol.degraded):
             table.rejected[row] += 1
+            if demand is not None:
+                demand.serve(
+                    self.name, entity_id, "rejected",
+                    tokens_left=table.tokens_left[row], ts=self.now,
+                )
             return "rejected"
         status = self._enqueue(entity_id, row, amount)
         if status == "queued":
@@ -332,6 +355,11 @@ class ScaleSiteHost(Actor):
             self._pending[entity_id] = queue
         if len(queue) >= self.config.max_queue:
             self.table.rejected[row] += 1
+            if self.demand is not None:
+                self.demand.serve(
+                    self.name, entity_id, "rejected",
+                    tokens_left=self.table.tokens_left[row], ts=self.now,
+                )
             return "rejected"
         queue.append([amount, 0])
         return "queued"
@@ -361,6 +389,8 @@ class ScaleSiteHost(Actor):
         adapter.last_trigger_at = self.now
         if adapter.protocol.trigger():
             self.rounds_triggered += 1
+            if self.demand is not None:
+                self.demand.trigger(self.name, "reactive")
 
     def _deferred_trigger(self, entity_id: str, row: int) -> None:
         self._deferred.discard(entity_id)
@@ -375,6 +405,8 @@ class ScaleSiteHost(Actor):
         adapter.last_trigger_at = self.now
         if adapter.protocol.trigger():
             self.rounds_triggered += 1
+            if self.demand is not None:
+                self.demand.trigger(self.name, "pledge_recovery")
 
     def _drain(self, entity_id: str, row: int, degraded: bool) -> None:
         """Answer the entity's queue after a round ends (or blocks).
@@ -390,6 +422,7 @@ class ScaleSiteHost(Actor):
         if not queue:
             return
         table = self.table
+        demand = self.demand
         adapter = self._protocols[entity_id]
         keep: deque[list[int]] = deque()
         reserved = adapter.reserved_tokens() if degraded else 0
@@ -400,6 +433,13 @@ class ScaleSiteHost(Actor):
                 table.tokens_left[row] -= amount
                 table.acquired[row] += amount
                 table.committed[row] += 1
+                if demand is not None:
+                    # Served only after queueing through a round: the
+                    # non-local half of the token-locality split.
+                    demand.serve(
+                        self.name, entity_id, "granted", waited=True,
+                        tokens_left=table.tokens_left[row], ts=self.now,
+                    )
             elif degraded:
                 keep.append(item)
             elif waits + 1 < self.config.max_round_waits:
@@ -407,6 +447,11 @@ class ScaleSiteHost(Actor):
                 keep.append(item)
             else:
                 table.rejected[row] += 1
+                if demand is not None:
+                    demand.serve(
+                        self.name, entity_id, "rejected", waited=True,
+                        tokens_left=table.tokens_left[row], ts=self.now,
+                    )
         if keep:
             self._pending[entity_id] = keep
             if not degraded:
