@@ -78,6 +78,17 @@ def test_nemesis_smoke(benchmark):
             ),
             None,
         ),
+        # Wire flow rollup under adversity (informational — CI extracts
+        # it into FLOW_nemesis.json; the gate still keys on headline).
+        flow=next(
+            (
+                verdict.result.flow_snapshot
+                for system, verdict in report.verdicts.items()
+                if system == "samya-majority"
+                and verdict.result.flow_snapshot is not None
+            ),
+            None,
+        ),
     )
 
 

@@ -41,6 +41,10 @@ def test_scale_smoke(benchmark):
                 # request, O(K) memory — the sim counters the gate pins
                 # are unchanged, and the artifact gains locality data.
                 demand=True,
+                # Wire flow accounting: encodes the envelopes the sim
+                # never serializes, so the artifact carries a byte
+                # budget and the gate pins it (see flow headline below).
+                flow=True,
             )
         ),
     )
@@ -64,14 +68,31 @@ def test_scale_smoke(benchmark):
     assert result.batching is not None and result.batching["batches_sent"] > 0
     calibration = calibration_point()
     print(f"calibration point: {calibration:,.0f} no-op events/s")
+    # The gated wire byte budget (FlowTracker.headline shape, rebuilt
+    # from the snapshot): mean framed bytes per message type pin the
+    # codec, the coalescing ratio pins the batcher, the totals pin
+    # overall chattiness.  Deterministic on the fixed seed.
+    flow = result.flow
+    assert flow is not None and flow["frames"] > 0
+    flow_headline = {
+        "wire_frames": flow["frames"],
+        "wire_bytes": flow["frame_bytes"],
+        "bytes_per_frame": {
+            row["msg_type"]: row["mean_frame_bytes"] for row in flow["types"]
+        },
+    }
+    for key in ("coalescing_ratio", "overhead_ratio"):
+        if key in flow.get("batch", {}):
+            flow_headline[key] = flow["batch"][key]
     write_bench_json(
         "scale_smoke",
-        {str(ENTITIES): result.as_metrics()},
+        {str(ENTITIES): result.as_metrics(), "flow": flow_headline},
         config={"entities": ENTITIES, "duration": DURATION, "rate": RATE,
                 "regions": 3, "maximum": 30},
         seed=SEED,
         calibration=calibration,
         demand=result.demand,
+        flow=flow,
     )
 
 

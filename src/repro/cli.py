@@ -51,6 +51,7 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         trace_path=getattr(args, "trace", None),
         audit=getattr(args, "audit", False),
         perf=getattr(args, "perf", False),
+        flow=getattr(args, "flow", False),
     )
 
 
@@ -96,6 +97,60 @@ def _report_perf(result, enabled: bool) -> None:
     )
 
 
+def _report_flow(result, enabled: bool) -> None:
+    """Print the wire/queue flow tables for a --flow run."""
+    if not enabled or not result.flow_snapshot:
+        return
+    snapshot = result.flow_snapshot
+    print()
+    header = (
+        f"flow — {snapshot['frames']} frames, "
+        f"{snapshot['frame_bytes']:,} wire bytes "
+        f"({snapshot['payload_bytes']:,} payload)"
+    )
+    batch = snapshot.get("batch")
+    if batch and "coalescing_ratio" in batch:
+        header += f", coalescing x{batch['coalescing_ratio']}"
+    print(header)
+    types = snapshot.get("types") or []
+    if types:
+        total = snapshot["frame_bytes"] or 1
+        print()
+        print(
+            format_table(
+                ["msg type", "frames", "frame B", "B/frame", "share"],
+                [
+                    [
+                        row["msg_type"],
+                        row["frames"],
+                        f"{row['frame_bytes']:,}",
+                        f"{row['mean_frame_bytes']:.1f}",
+                        f"{100.0 * row['frame_bytes'] / total:.1f}%",
+                    ]
+                    for row in types
+                ],
+                title="wire bytes by message type",
+            )
+        )
+    queues = [
+        row for row in (snapshot.get("queues") or [])
+        if row["high"] or row["dropped"]
+    ]
+    if queues:
+        print()
+        print(
+            format_table(
+                ["queue", "high", "last depth", "enq", "deq", "dropped"],
+                [
+                    [row["queue"], row["high"], row["depth"],
+                     row["enqueued"], row["dequeued"], row["dropped"]]
+                    for row in queues
+                ],
+                title="queue watermarks",
+            )
+        )
+
+
 def _report_audit(result, enabled: bool) -> int:
     """Print the online-audit verdict; non-zero exit on violations."""
     if not enabled:
@@ -128,6 +183,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(format_series(samples, title="throughput", x_label="t (s)", y_label="tps"))
     _report_perf(result, args.perf)
+    _report_flow(result, args.flow)
     return _report_audit(result, args.audit)
 
 
@@ -161,6 +217,7 @@ def cmd_live(args: argparse.Namespace) -> int:
         )
     )
     _report_perf(report.result, args.perf)
+    _report_flow(report.result, args.flow)
     return _report_audit(report.result, args.audit)
 
 
@@ -236,6 +293,7 @@ def _summarize_trace_file(
     critical_path: bool = False,
     max_requests: int = 50,
     demand: bool = False,
+    flow: bool = False,
 ) -> int:
     """Each pass streams the file (``iter_trace``) — a 100k-entity scale
     trace never materializes as a list, whatever its size."""
@@ -246,9 +304,11 @@ def _summarize_trace_file(
         format_audit_report,
         format_critical_path_report,
         format_demand_report,
+        format_flow_report,
         format_trace_summary,
         iter_trace,
         track_demand,
+        track_flow,
         validate_event,
     )
 
@@ -273,6 +333,10 @@ def _summarize_trace_file(
             tracker = track_demand(iter_trace(path))
             print()
             print(format_demand_report(tracker, source=path))
+        if flow:
+            flow_tracker = track_flow(iter_trace(path))
+            print()
+            print(format_flow_report(flow_tracker, source=path))
         if critical_path:
             report = analyze_critical_paths(
                 iter_trace(path), max_requests=max_requests
@@ -300,6 +364,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             critical_path=args.critical_path,
             max_requests=args.max_requests,
             demand=args.demand,
+            flow=args.flow,
         )
     trace = SyntheticAzureTrace(TraceConfig(days=args.days, seed=args.seed))
     stats = trace.demand_stats()
@@ -329,7 +394,7 @@ def cmd_top(args: argparse.Namespace) -> int:
     animate = not args.once
     in_place = animate and sys.stdout.isatty()
 
-    def emit_frame(tracker, clock: float, final: bool = False) -> None:
+    def emit_frame(tracker, clock: float, final: bool = False, flow=None) -> None:
         if tracker is None:
             print("demand tracking is not enabled for this run", file=sys.stderr)
             return
@@ -338,6 +403,7 @@ def cmd_top(args: argparse.Namespace) -> int:
             clock=clock,
             title=f"repro top — {args.mode}",
             max_entities=args.top,
+            flow=flow,
         )
         prefix = CLEAR if in_place and not final else ""
         print(prefix + text, flush=True, end="")
@@ -354,17 +420,23 @@ def cmd_top(args: argparse.Namespace) -> int:
             rate=args.rate,
             seed=args.seed,
             demand=True,
+            flow=args.flow,
         )
         deployment = build_scale_deployment(config)
         if animate:
             def frame() -> None:
-                emit_frame(deployment.demand, deployment.kernel.now)
+                emit_frame(
+                    deployment.demand, deployment.kernel.now,
+                    flow=deployment.flow,
+                )
                 if deployment.kernel.now < config.duration:
                     deployment.kernel.schedule(args.refresh, frame)
 
             deployment.kernel.schedule(args.refresh, frame)
         result = run_scale(config, deployment=deployment)
-        emit_frame(deployment.demand, result.sim_time, final=True)
+        emit_frame(
+            deployment.demand, result.sim_time, final=True, flow=deployment.flow
+        )
         return 0
 
     # Sim and live paths share the experiment harness; metrics forces
@@ -377,7 +449,10 @@ def cmd_top(args: argparse.Namespace) -> int:
         on_tick = None
         if animate:
             def on_tick(experiment) -> None:
-                emit_frame(experiment.demand, experiment.kernel.now)
+                emit_frame(
+                    experiment.demand, experiment.kernel.now,
+                    flow=experiment.flow_tracker,
+                )
 
         cluster = LiveCluster(
             config,
@@ -391,6 +466,7 @@ def cmd_top(args: argparse.Namespace) -> int:
             experiment.demand if experiment is not None else None,
             args.duration,
             final=True,
+            flow=experiment.flow_tracker if experiment is not None else None,
         )
         return 0
 
@@ -399,7 +475,10 @@ def cmd_top(args: argparse.Namespace) -> int:
     experiment = Experiment(config)
     if animate:
         def frame() -> None:
-            emit_frame(experiment.demand, experiment.kernel.now)
+            emit_frame(
+                experiment.demand, experiment.kernel.now,
+                flow=experiment.flow_tracker,
+            )
             if experiment.kernel.now < config.duration:
                 experiment.kernel.schedule(args.refresh, frame)
 
@@ -407,7 +486,10 @@ def cmd_top(args: argparse.Namespace) -> int:
     experiment.start()
     experiment.kernel.run(until=config.duration)
     experiment.collect()
-    emit_frame(experiment.demand, experiment.kernel.now, final=True)
+    emit_frame(
+        experiment.demand, experiment.kernel.now, final=True,
+        flow=experiment.flow_tracker,
+    )
     return 0
 
 
@@ -748,6 +830,11 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="record wall-clock perf histograms (kernel "
                              "dispatch, per-phase spans; plus transport/codec "
                              "timing on live runs) and print them")
+    parser.add_argument("--flow", action="store_true",
+                        help="record wire flow (bytes per message type and "
+                             "region link, queue watermarks, coalescing "
+                             "efficiency) and print the flow tables; byte "
+                             "stamps and flow.* rollups land in --trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -819,6 +906,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="report token locality, hot entities "
                                    "(bounded top-K sketch), and the "
                                    "prediction scorecard from the trace")
+    trace_parser.add_argument("--flow", action="store_true",
+                              help="report wire bytes by message type and "
+                                   "link, plus queue watermarks, from a "
+                                   "flow-enabled trace")
     trace_parser.add_argument("--critical-path", action="store_true",
                               help="reconstruct sampled request flows and "
                                    "attribute their latency to protocol "

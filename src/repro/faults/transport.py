@@ -152,6 +152,16 @@ class FaultyTransport:
         self.inner.trace = tap
 
     @property
+    def flow(self):
+        # getattr-tolerant: test doubles standing in for the inner
+        # transport predate the flow seam.
+        return getattr(self.inner, "flow", None)
+
+    @flow.setter
+    def flow(self, tracker) -> None:
+        self.inner.flow = tracker
+
+    @property
     def messages_sent(self) -> int:
         return self.inner.messages_sent + self._injected_sent
 

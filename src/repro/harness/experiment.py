@@ -32,12 +32,14 @@ from repro.metrics.hub import MetricsHub
 from repro.metrics.invariants import ConservationChecker, InvariantViolation
 from repro.metrics.latency import LatencySummary
 from repro.net.faults import CrashController
+from repro.net.message import reset_msg_ids
 from repro.net.network import Network, NetworkConfig
 from repro.net.regions import MULTIPAXSYS_REGIONS, PAPER_REGIONS, Region
 from repro.obs import prof
 from repro.obs.audit import InvariantAuditor
 from repro.obs.bus import EventBus, JsonlSink, NullSink, Sink
 from repro.obs.demand import DemandTap, DemandTracker, emit_demand_events
+from repro.obs.flow import FlowTracker, emit_flow_events
 from repro.obs.perf import PerfRecorder, PerfSpanTap
 from repro.obs.registry import MetricsRegistry, TraceMetricsFeed
 from repro.obs.schema import SCHEMA
@@ -141,6 +143,12 @@ class ExperimentConfig:
     #: tick/heap-push timings plus per-phase span durations from the
     #: event stream.  Snapshot lands in ``ExperimentResult.perf_snapshot``.
     perf: bool = False
+    #: Track wire/queue flow (repro.obs.flow): per-link and per-type
+    #: frame/byte counters at the transport seam, kernel-heap and
+    #: transport-queue watermarks.  Byte stamps ride ``msg.send`` and
+    #: bounded ``flow.*`` rollups land in the trace at collect; the
+    #: snapshot lands in ``ExperimentResult.flow_snapshot``.
+    flow: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -194,6 +202,10 @@ class ExperimentResult:
     #: locality per site, hot-entity sketch, prediction scorecard
     #: (see DemandTracker.snapshot; lands in bench ``demand`` sections).
     demand_snapshot: dict | None = None
+    #: Wire/queue flow rollup (config.flow): per-link and per-type
+    #: frames/bytes, queue watermarks, coalescing efficiency (see
+    #: FlowTracker.snapshot; lands in bench ``flow`` sections).
+    flow_snapshot: dict | None = None
 
     @property
     def committed_total(self) -> int:
@@ -221,6 +233,11 @@ class Experiment:
         trace_sink: Sink | None = None,
     ) -> None:
         self.config = config
+        # Fresh envelope ids per deployment: traces record msg_id and
+        # the flow plane accounts encoded bytes (id digit count), so a
+        # fixed-seed run must not depend on what ran earlier in the
+        # process (see repro.net.message module docs).
+        reset_msg_ids()
         self.kernel = kernel if kernel is not None else Kernel(seed=config.seed)
         self.network = (
             network
@@ -272,6 +289,15 @@ class Experiment:
             self.kernel.install_perf(self.perf_recorder)
             if self.obs is not None:
                 self.obs.subscribe(PerfSpanTap(self.perf_recorder))
+        self.flow_tracker: FlowTracker | None = None
+        if config.flow:
+            # Fed at the transport seam, never via a bus tap: subscribing
+            # a FlowTap to a live bus would double-count msg.send (see
+            # repro.obs.flow module docs).
+            self.flow_tracker = FlowTracker()
+            self.network.flow = self.flow_tracker
+            if hasattr(self.kernel, "install_flow"):
+                self.kernel.install_flow(self.flow_tracker)
         # ``repro profile`` installs a process-wide event profiler; any
         # sim kernel built while it is active reports to it.
         profiler = prof.active()
@@ -563,6 +589,8 @@ class Experiment:
                 # The harness owns the bus, so writing the demand.*
                 # rollups here is not tap re-entry.
                 emit_demand_events(obs, self.demand)
+            if self.flow_tracker is not None:
+                emit_flow_events(obs, self.flow_tracker)
             obs.emit(
                 "run.end",
                 committed=result.committed,
@@ -584,6 +612,8 @@ class Experiment:
             result.perf_snapshot = self.perf_recorder.snapshot()
         if self.demand is not None:
             result.demand_snapshot = self.demand.snapshot()
+        if self.flow_tracker is not None:
+            result.flow_snapshot = self.flow_tracker.snapshot()
         return result
 
     def run(self) -> ExperimentResult:

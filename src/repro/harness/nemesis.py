@@ -129,6 +129,10 @@ def run_nemesis(
             audit=audit,
             multipaxsys_paper_regions=True,
             trace_path=trace_path,
+            # Wire flow rides every nemesis run: byte accounting under
+            # adversity is exactly when retransmit/duplicate chatter
+            # shows, and the bench artifact's flow section needs it.
+            flow=True,
         )
         experiment = Experiment(config, kernel=kernel, network=network)
         if not wal_enabled:

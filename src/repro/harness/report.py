@@ -111,6 +111,7 @@ def write_bench_json(
     metrics: dict[str, Any] | None = None,
     calibration: float | None = None,
     demand: dict[str, Any] | None = None,
+    flow: dict[str, Any] | None = None,
 ) -> Path:
     """Write ``BENCH_<name>.json``: headline numbers + provenance.
 
@@ -123,9 +124,13 @@ def write_bench_json(
     ``metrics`` embeds a point-in-time registry snapshot
     (``ExperimentResult.metrics_snapshot``); ``demand`` embeds the
     contention rollup (``ExperimentResult.demand_snapshot``: token
-    locality, hot-entity sketch, prediction scorecard) — both are
-    informational sections the regression gate never compares (it keys
-    on ``headline`` only).  ``calibration`` stamps
+    locality, hot-entity sketch, prediction scorecard); ``flow`` embeds
+    the wire/queue rollup (``ExperimentResult.flow_snapshot``: bytes by
+    link and message type, queue watermarks, coalescing efficiency) —
+    all are informational sections the regression gate never compares
+    (it keys on ``headline`` only; benchmarks that want byte budgets
+    gated fold ``FlowTracker.headline()`` into ``headline`` themselves).
+    ``calibration`` stamps
     the machine's reference dispatch rate
     (``harness.calibration.calibration_point``) so the regression gate
     can compare wall-clock metrics across machines as ratios.  The
@@ -152,6 +157,8 @@ def write_bench_json(
         payload["metrics"] = metrics
     if demand is not None:
         payload["demand"] = demand
+    if flow is not None:
+        payload["flow"] = flow
     if calibration is not None:
         payload["calibration"] = round(calibration, 1)
     path = directory / f"BENCH_{name}.json"

@@ -3,12 +3,20 @@
 Payloads are plain dataclasses defined by each protocol; the envelope
 carries routing metadata and the delivery timestamp for tracing.
 
-``msg_id`` is monotonically unique per process: every envelope ever
+``msg_id`` is monotonically unique per *deployment*: every envelope ever
 created gets a fresh id, so a *re-transmission* of the same envelope (a
 live transport resending an unacknowledged frame after a reconnect) is
 recognizable at the receiver while two independent sends never collide.
 Sim transports create one envelope per send and therefore never produce
 duplicates — the dedup path only fires over real, lossy channels.
+
+Deployment builders call :func:`reset_msg_ids` so a fixed-seed run
+assigns the same ids regardless of what else ran earlier in the
+process — without the reset, traces (which record ``msg_id``) and the
+flow plane's encoded-byte accounting (digit count varies with the id)
+would differ between an isolated run and the same run after another
+experiment.  Uniqueness only needs to span one deployment: dedup
+windows live inside a transport, and no envelope crosses deployments.
 """
 
 from __future__ import annotations
@@ -22,8 +30,14 @@ _msg_ids = itertools.count(1)
 
 
 def next_msg_id() -> int:
-    """The next process-wide unique message id."""
+    """The next unique message id (see module docs on the scope)."""
     return next(_msg_ids)
+
+
+def reset_msg_ids() -> None:
+    """Restart the id counter — called at deployment-build boundaries."""
+    global _msg_ids
+    _msg_ids = itertools.count(1)
 
 
 @dataclass

@@ -75,6 +75,10 @@ class Network:
         self.trace: Callable[[Message], None] | None = None
         #: Telemetry bus; installed by the harness when tracing is on.
         self.obs: EventBus | None = None
+        #: Optional :class:`repro.obs.flow.FlowTracker`.  The sim path
+        #: passes payloads by reference and never serializes, so byte
+        #: accounting *encodes on demand* — only behind this seam.
+        self.flow = None
 
     # -- registration -----------------------------------------------------
 
@@ -104,7 +108,28 @@ class Network:
         obs = self.obs
         if obs is not None:
             message.trace_id = trace_id_of(payload)
-            self._emit_msg(obs, "msg.send", message)
+        flow = self.flow
+        extra: dict[str, Any] = {}
+        if flow is not None:
+            # Encode the envelope exactly as the TCP framing would (the
+            # trace id is already stamped, matching the live order) so
+            # sim byte baselines transfer to the socket substrate.
+            from repro.net import codec
+
+            payload_bytes = len(codec.encode(message))
+            frame_bytes = payload_bytes + codec.FRAME_HEADER.size
+            src_region = self._regions.get(src)
+            dst_region = self._regions.get(dst)
+            flow.record_send(
+                message.kind,
+                payload_bytes,
+                frame_bytes,
+                src_region.value if src_region is not None else "",
+                dst_region.value if dst_region is not None else "",
+            )
+            extra = {"bytes": payload_bytes, "frame_bytes": frame_bytes}
+        if obs is not None:
+            self._emit_msg(obs, "msg.send", message, **extra)
         if self.trace is not None:
             self.trace(message)
         if dst not in self._endpoints:

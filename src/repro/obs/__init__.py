@@ -28,6 +28,10 @@ rides the same stream as bus taps:
   from the same emit sites, snapshot into bench artifacts.
 * :mod:`repro.obs.exposition` — Prometheus text rendering and the
   asyncio ``/metrics`` endpoint for live runs.
+* :mod:`repro.obs.flow` — the flow & resource plane: per-link wire
+  accounting, queue/backpressure watermarks, and opt-in memory
+  telemetry, surfaced as ``flow.*`` trace rollups, ``repro_flow_*``
+  metric families, and the ``--flow`` offline report.
 
 Timestamps are **substrate clock seconds** — simulated seconds under the
 discrete-event kernel, wall seconds since loop start under the live
@@ -54,6 +58,17 @@ from repro.obs.demand import (
     format_demand_report,
     track_demand,
 )
+from repro.obs.flow import (
+    FlowTap,
+    FlowTracker,
+    ResourceProbe,
+    WIRE_HEADER_BYTES,
+    emit_flow_events,
+    entity_table_bytes,
+    format_flow_report,
+    render_flow_prometheus,
+    track_flow,
+)
 from repro.obs.perf import (
     PerfHistogram,
     PerfRecorder,
@@ -76,6 +91,8 @@ __all__ = [
     "DemandTap",
     "DemandTracker",
     "EventBus",
+    "FlowTap",
+    "FlowTracker",
     "InvariantAuditor",
     "JsonlSink",
     "MetricsRegistry",
@@ -83,23 +100,30 @@ __all__ = [
     "PerfHistogram",
     "PerfRecorder",
     "PerfSpanTap",
+    "ResourceProbe",
     "RingSink",
     "SCHEMA",
     "SpaceSavingSketch",
     "TraceMetricsFeed",
+    "WIRE_HEADER_BYTES",
     "analyze_critical_paths",
     "audit_events",
     "emit_demand_events",
+    "emit_flow_events",
+    "entity_table_bytes",
     "feed_registry",
     "format_audit_report",
     "format_critical_path_report",
     "format_demand_report",
+    "format_flow_report",
     "format_trace_summary",
     "iter_trace",
     "read_trace",
+    "render_flow_prometheus",
     "render_perf_prometheus",
     "render_top",
     "track_demand",
+    "track_flow",
     "trace_id_of",
     "validate_event",
     "validate_events",

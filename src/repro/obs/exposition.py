@@ -80,6 +80,8 @@ class MetricsServer:
     When a :class:`~repro.obs.perf.PerfRecorder` is attached, its
     wall-clock histograms are appended to every scrape as proper
     Prometheus histogram families (cumulative ``le`` + ``_sum``/``_count``).
+    Likewise a :class:`~repro.obs.flow.FlowTracker` appends the
+    ``repro_flow_*`` wire/queue families.
     """
 
     def __init__(
@@ -88,11 +90,13 @@ class MetricsServer:
         port: int,
         host: str = "127.0.0.1",
         perf=None,
+        flow=None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
         self.perf = perf
+        self.flow = flow
         self.scrapes = 0
         self._server: asyncio.base_events.Server | None = None
 
@@ -129,6 +133,10 @@ class MetricsServer:
                     from repro.obs.perf import render_perf_prometheus
 
                     text += render_perf_prometheus(self.perf)
+                if self.flow is not None:
+                    from repro.obs.flow import render_flow_prometheus
+
+                    text += render_flow_prometheus(self.flow)
                 body = text.encode("utf-8")
                 status = "200 OK"
             else:

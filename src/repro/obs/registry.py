@@ -54,6 +54,21 @@ name                                  kind     labels
 ``demand_prediction_error``           gauge    ``node``
 ``demand_prediction_mape_pct``        gauge    ``node``
 ====================================  =======  =======================
+
+Flow families (the resource story — fed from the optional ``bytes``/
+``frame_bytes`` stamps flow-enabled runs put on ``msg.send`` plus the
+per-drop ``flow.backpressure`` events; see :mod:`repro.obs.flow`).
+Deliberately disjoint from the families
+:func:`~repro.obs.flow.render_flow_prometheus` renders from a live
+tracker, so a scrape that appends both never repeats a family name:
+
+====================================  =======  ==============================
+name                                  kind     labels
+====================================  =======  ==============================
+``flow_wire_bytes_total``             counter  ``msg_type`` (framed bytes)
+``flow_wire_frames_total``            counter  ``msg_type``
+``flow_backpressure_total``           counter  ``queue``
+====================================  =======  ==============================
 """
 
 from __future__ import annotations
@@ -352,6 +367,21 @@ class TraceMetricsFeed:
             "Running mean absolute percentage forecast error",
             ("node",),
         )
+        self.flow_wire_bytes = registry.counter(
+            "repro_flow_wire_bytes_total",
+            "Framed wire bytes sent per message type",
+            ("msg_type",),
+        )
+        self.flow_wire_frames = registry.counter(
+            "repro_flow_wire_frames_total",
+            "Encoded frames sent per message type",
+            ("msg_type",),
+        )
+        self.flow_backpressure = registry.counter(
+            "repro_flow_backpressure_total",
+            "Per-drop backpressure events at a full queue",
+            ("queue",),
+        )
         #: node -> [local, waited] running split for the locality gauge.
         self._locality: dict[str, list[int]] = {}
         #: node -> [ape_sum, ape_count] running MAPE accumulators.
@@ -365,6 +395,20 @@ class TraceMetricsFeed:
             self.clock.set(value=float(ts))
         if etype.startswith("msg."):
             self.messages.inc(etype[4:], str(event.get("msg_type", "?")))
+            if etype == "msg.send":
+                # Byte stamps only exist on flow-enabled runs; the
+                # end-of-run flow.* rollups are deliberately NOT folded
+                # here — they would double-count these increments.
+                frame = event.get("frame_bytes")
+                payload = event.get("bytes")
+                if isinstance(frame, bool):
+                    frame = None
+                if not isinstance(frame, int) and isinstance(payload, int) and not isinstance(payload, bool):
+                    frame = payload + 4
+                if isinstance(frame, int):
+                    msg_type = str(event.get("msg_type", "?"))
+                    self.flow_wire_bytes.inc(msg_type, value=float(frame))
+                    self.flow_wire_frames.inc(msg_type)
             if etype == "msg.deliver":
                 latency = event.get("latency")
                 if isinstance(latency, (int, float)):
@@ -416,6 +460,8 @@ class TraceMetricsFeed:
                     self.demand_rejected.inc(node)
                     if waited:
                         self.demand_starved.inc(node)
+        elif etype == "flow.backpressure":
+            self.flow_backpressure.inc(str(event.get("queue", "?")))
         elif etype == "epoch.close":
             predicted = event.get("predicted")
             if isinstance(predicted, (int, float)) and not isinstance(

@@ -29,6 +29,10 @@ The taxonomy, by layer:
 * ``demand.*`` — end-of-run contention rollups (token locality per
   site, bounded hot-entity sketch, prediction scorecard) written from
   :class:`repro.obs.demand.DemandTracker` by the experiment harness.
+* ``flow.*`` — end-of-run resource rollups (wire bytes per link and
+  message type, queue high watermarks, coalescing efficiency) written
+  from :class:`repro.obs.flow.FlowTracker` by the experiment harness,
+  plus mid-run ``flow.backpressure`` drops from bounded queues.
 * ``consensus.commit`` — log application in the Paxos/Raft baselines.
 * ``request.shed`` — client-side load shedding (window full).
 * ``substrate.health`` — live-run drift and transport counters
@@ -88,7 +92,16 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
     },
     "msg.send": {
         "required": {"src": _STR, "dst": _STR, "msg_type": _STR, "msg_id": _INT},
-        "optional": {"trace_id": _STR, "src_region": _STR, "dst_region": _STR},
+        "optional": {
+            "trace_id": _STR,
+            "src_region": _STR,
+            "dst_region": _STR,
+            # Stamped by flow-enabled runs: encoded payload bytes and
+            # framed bytes (payload + length prefix) — what the offline
+            # ``--flow`` report and the summarizer's wire table fold.
+            "bytes": _INT,
+            "frame_bytes": _INT,
+        },
     },
     "msg.deliver": {
         "required": {"src": _STR, "dst": _STR, "msg_type": _STR, "msg_id": _INT},
@@ -168,6 +181,45 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
     "demand.scorecard": {
         "required": {"epoch": _INT, "predicted": _NUM, "observed": _NUM},
         "optional": {"error": _NUM, "ape_pct": _NUM},
+    },
+    # ``flow.*`` — the resource plane (repro.obs.flow): wire bytes per
+    # link and message type, queue watermarks, coalescing efficiency.
+    # Rollups are written by the bus owner at collect;
+    # ``flow.backpressure`` is the one mid-run event (a bounded queue
+    # rejecting an envelope, emitted by the transport that owns it).
+    "flow.link": {
+        "required": {
+            "src_region": _STR,
+            "dst_region": _STR,
+            "frames": _INT,
+            "bytes": _INT,
+        },
+        "optional": {"frame_bytes": _INT},
+    },
+    "flow.type": {
+        "required": {"msg_type": _STR, "frames": _INT, "bytes": _INT},
+        "optional": {"frame_bytes": _INT},
+    },
+    "flow.queue": {
+        "required": {"queue": _STR, "high": _INT},
+        "optional": {
+            "depth": _INT,
+            "enqueued": _INT,
+            "dequeued": _INT,
+            "dropped": _INT,
+        },
+    },
+    "flow.backpressure": {
+        "required": {"queue": _STR, "depth": _INT},
+        "optional": {"msg_type": _STR},
+    },
+    "flow.batch": {
+        "required": {"envelopes": _INT, "inner": _INT},
+        "optional": {
+            "passthrough": _INT,
+            "envelope_bytes": _INT,
+            "inner_bytes": _INT,
+        },
     },
     "consensus.commit": {
         "required": {"index": _INT},

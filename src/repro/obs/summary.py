@@ -169,6 +169,11 @@ class TraceSummaryBuilder:
         self.sent: Counter[str] = Counter()
         self.delivered: Counter[str] = Counter()
         self.dropped: Counter[str] = Counter()
+        #: Wire accounting from the optional byte stamps flow-enabled
+        #: runs put on msg.send — bounded by distinct message types.
+        self.wire_frames: Counter[str] = Counter()
+        self.wire_payload_bytes: Counter[str] = Counter()
+        self.wire_frame_bytes: Counter[str] = Counter()
         self.region_counts: Counter[tuple[str, str]] = Counter()
         self.region_latency_sums: dict[tuple[str, str], float] = defaultdict(float)
         self.region_latency_counts: Counter[tuple[str, str]] = Counter()
@@ -193,7 +198,16 @@ class TraceSummaryBuilder:
             if isinstance(entity, str) and entity:
                 self.entities.update(entity)
         elif etype == "msg.send":
-            self.sent[event["msg_type"]] += 1
+            msg_type = event["msg_type"]
+            self.sent[msg_type] += 1
+            payload = event.get("bytes")
+            if isinstance(payload, int) and not isinstance(payload, bool):
+                frame = event.get("frame_bytes")
+                if isinstance(frame, bool) or not isinstance(frame, int):
+                    frame = payload + 4
+                self.wire_frames[msg_type] += 1
+                self.wire_payload_bytes[msg_type] += payload
+                self.wire_frame_bytes[msg_type] += frame
         elif etype == "msg.deliver":
             self.delivered[event["msg_type"]] += 1
             pair = (event.get("src_region", "?"), event.get("dst_region", "?"))
@@ -272,6 +286,29 @@ class TraceSummaryBuilder:
                     ["msg type", "sent", "delivered", "dropped"],
                     messages,
                     title="messages by payload type",
+                )
+            )
+        if self.wire_frame_bytes:
+            total = sum(self.wire_frame_bytes.values()) or 1
+            wire_rows = [
+                [
+                    msg_type,
+                    self.wire_frames[msg_type],
+                    f"{self.wire_payload_bytes[msg_type]:,}",
+                    f"{self.wire_frame_bytes[msg_type]:,}",
+                    f"{self.wire_frame_bytes[msg_type] / self.wire_frames[msg_type]:.1f}",
+                    f"{100.0 * self.wire_frame_bytes[msg_type] / total:.1f}%",
+                ]
+                for msg_type in sorted(
+                    self.wire_frame_bytes,
+                    key=lambda t: (-self.wire_frame_bytes[t], t),
+                )
+            ]
+            sections.append(
+                format_table(
+                    ["msg type", "frames", "payload B", "frame B", "B/frame", "share"],
+                    wire_rows,
+                    title="wire bytes by message type (flow-enabled run)",
                 )
             )
         regions = []

@@ -38,8 +38,13 @@ def render_top(
     clock: float = 0.0,
     title: str = "repro top",
     max_entities: int = 10,
+    flow=None,
 ) -> str:
-    """One frame: header, hot entities, per-site locality, scorecard."""
+    """One frame: header, hot entities, per-site locality, scorecard.
+
+    With a :class:`~repro.obs.flow.FlowTracker` attached, a flow pane
+    (wire bytes by type, queue watermarks) follows the site table.
+    """
     lines: list[str] = []
     lines.append(
         f"{title} — t={clock:8.1f}s  requests={tracker.requests}  "
@@ -93,4 +98,37 @@ def render_top(
             )
     else:
         lines.append("(no sites yet)")
+
+    if flow is not None:
+        lines.append("")
+        header = (
+            f"flow — frames={flow.total_frames}  "
+            f"wire={flow.total_frame_bytes:,}B"
+        )
+        batch = flow.batch
+        if batch.envelopes and batch.coalescing_ratio is not None:
+            header += f"  coalescing=x{batch.coalescing_ratio:.2f}"
+        lines.append(header)
+        types = flow.type_rows()[:5]
+        if types:
+            lines.append(f"{'msg type':<24} {'frames':>8} {'frame B':>12} {'B/frame':>8}")
+            for row in types:
+                lines.append(
+                    f"{row['msg_type']:<24} {row['frames']:>8} "
+                    f"{row['frame_bytes']:>12,} {row['mean_frame_bytes']:>8.1f}"
+                )
+        else:
+            lines.append("(no wire traffic yet)")
+        queues = [
+            row for row in flow.queue_rows() if row["high"] or row["dropped"]
+        ][:8]
+        if queues:
+            lines.append(
+                f"{'queue':<28} {'high':>6} {'depth':>6} {'dropped':>8}"
+            )
+            for row in queues:
+                lines.append(
+                    f"{row['queue']:<28} {row['high']:>6} {row['depth']:>6} "
+                    f"{row['dropped']:>8}"
+                )
     return "\n".join(lines) + "\n"

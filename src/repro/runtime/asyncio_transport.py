@@ -96,6 +96,10 @@ class AsyncioTransport:
         #: ``None``; when set, send submission and receive dispatch are
         #: timed per payload type.
         self.perf = None
+        #: Flow tracker (:class:`repro.obs.flow.FlowTracker`) or ``None``.
+        #: This transport passes envelopes by reference, so byte
+        #: accounting encodes on demand — only behind this seam.
+        self.flow = None
         #: Exceptions raised by ``on_message`` handlers, oldest first.
         self.errors: list[BaseException] = []
 
@@ -165,7 +169,27 @@ class AsyncioTransport:
         obs = self.obs
         if obs is not None:
             message.trace_id = trace_id_of(payload)
-            emit_message_event(obs, "msg.send", message, self._regions)
+        flow = self.flow
+        extra: dict[str, Any] = {}
+        if flow is not None:
+            # Encode exactly as the TCP framing would (trace id already
+            # stamped) so byte baselines match across substrates.
+            from repro.net import codec
+
+            payload_bytes = len(codec.encode(message))
+            frame_bytes = payload_bytes + codec.FRAME_HEADER.size
+            src_region = self._regions.get(src)
+            dst_region = self._regions.get(dst)
+            flow.record_send(
+                message.kind,
+                payload_bytes,
+                frame_bytes,
+                src_region.value if src_region is not None else "",
+                dst_region.value if dst_region is not None else "",
+            )
+            extra = {"bytes": payload_bytes, "frame_bytes": frame_bytes}
+        if obs is not None:
+            emit_message_event(obs, "msg.send", message, self._regions, **extra)
         if self.trace is not None:
             self.trace(message)
         if dst not in self._endpoints:
@@ -205,10 +229,14 @@ class AsyncioTransport:
             self._drop(message, "unknown-endpoint")
             return
         queue.put_nowait(message)
+        if self.flow is not None:
+            self.flow.queue(f"asyncio.in.{message.dst}").enqueue(queue.qsize())
 
     async def _pump(self, name: str, queue: asyncio.Queue) -> None:
         while True:
             message = await queue.get()
+            if self.flow is not None:
+                self.flow.queue(f"asyncio.in.{name}").dequeue(queue.qsize())
             endpoint = self._endpoints.get(message.dst)
             if endpoint is None or endpoint.crashed:
                 self._drop(message, "endpoint-down")

@@ -121,6 +121,7 @@ class LiveCluster:
                 experiment.registry,
                 self.metrics_port,
                 perf=experiment.perf_recorder,
+                flow=experiment.flow_tracker,
             )
             await metrics_server.start()
             self.bound_metrics_port = metrics_server.port

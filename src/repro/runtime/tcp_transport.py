@@ -47,6 +47,10 @@ _SEND_TIMEOUT = 2.0
 _CIRCUIT_THRESHOLD = 3
 #: How long an open circuit waits before probing with one frame.
 _CIRCUIT_COOLDOWN = 1.0
+#: Cap on a per-peer out-queue.  A dead or slow peer must apply
+#: backpressure (accounted drops), not grow an unbounded asyncio.Queue
+#: until the process swaps.
+_MAX_OUT_QUEUE = 1024
 
 
 class _PeerCircuit:
@@ -95,8 +99,11 @@ class TcpTransport:
         self.send_timeout = _SEND_TIMEOUT
         self.circuit_threshold = _CIRCUIT_THRESHOLD
         self.circuit_cooldown = _CIRCUIT_COOLDOWN
+        self.max_out_queue = _MAX_OUT_QUEUE
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Frames rejected at a full per-peer out-queue.
+        self.backpressure_drops = 0
         self.messages_delivered = 0
         #: Per-payload-type counters (parity with the sim network).
         self.sent_by_type: Counter[str] = Counter()
@@ -112,6 +119,10 @@ class TcpTransport:
         #: ``None``; when set, send submission (including framing) and
         #: receive dispatch are timed per payload type.
         self.perf = None
+        #: Flow tracker (:class:`repro.obs.flow.FlowTracker`) or ``None``;
+        #: when set, every framed send is byte-accounted and the
+        #: per-peer out-queues report depth/high-watermark gauges.
+        self.flow = None
         self.errors: list[BaseException] = []
 
     def install_perf(self, recorder) -> None:
@@ -173,7 +184,26 @@ class TcpTransport:
         if obs is not None:
             # Stamped before framing so the trace id crosses the wire.
             message.trace_id = trace_id_of(payload)
-            emit_message_event(obs, "msg.send", message, self._regions)
+        flow = self.flow
+        frame: bytes | None = None
+        extra: dict[str, Any] = {}
+        if flow is not None:
+            # Frame early (trace id is stamped) so send-time accounting
+            # sees the exact bytes; the frame is reused below.
+            frame = codec.encode_frame(message)
+            payload_bytes = len(frame) - codec.FRAME_HEADER.size
+            src_region = self._regions.get(src)
+            dst_region = self._regions.get(dst)
+            flow.record_send(
+                message.kind,
+                payload_bytes,
+                len(frame),
+                src_region.value if src_region is not None else "",
+                dst_region.value if dst_region is not None else "",
+            )
+            extra = {"bytes": payload_bytes, "frame_bytes": len(frame)}
+        if obs is not None:
+            emit_message_event(obs, "msg.send", message, self._regions, **extra)
         if self.trace is not None:
             self.trace(message)
         if dst not in self._endpoints:
@@ -185,7 +215,8 @@ class TcpTransport:
         if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
             self._drop(message, "loss")
             return
-        frame = codec.encode_frame(message)
+        if frame is None:
+            frame = codec.encode_frame(message)
         delay = self.delay_model.sample(self._regions[src], self._regions[dst], self._rng)
         if delay <= 0:
             self._enqueue_frame(dst, message, frame)
@@ -208,7 +239,28 @@ class TcpTransport:
             self._writers[dst] = loop.create_task(
                 self._write_loop(dst, queue), name=f"tcp-writer:{dst}"
             )
+        if queue.qsize() >= self.max_out_queue:
+            # Backpressure: reject loudly (accounted drop + trace event)
+            # instead of letting a dead peer's queue grow without bound.
+            self.backpressure_drops += 1
+            flow = self.flow
+            if flow is not None:
+                gauge = flow.queue(f"tcp.out.{dst}")
+                gauge.drop()
+                gauge.observe(queue.qsize())
+            obs = self.obs
+            if obs is not None:
+                obs.emit(
+                    "flow.backpressure",
+                    queue=f"tcp.out.{dst}",
+                    depth=queue.qsize(),
+                    msg_type=message.kind,
+                )
+            self._drop(message, "backpressure")
+            return
         queue.put_nowait((message, frame))
+        if self.flow is not None:
+            self.flow.queue(f"tcp.out.{dst}").enqueue(queue.qsize())
 
     async def _write_loop(self, dst: str, queue: asyncio.Queue) -> None:
         """Drain ``queue`` into one connection to ``dst``, reconnecting
@@ -226,6 +278,8 @@ class TcpTransport:
         try:
             while True:
                 message, frame = await queue.get()
+                if self.flow is not None:
+                    self.flow.queue(f"tcp.out.{dst}").dequeue(queue.qsize())
                 if circuit.state == "open":
                     if self.clock.now - circuit.opened_at < self.circuit_cooldown:
                         self._drop(message, "circuit-open")

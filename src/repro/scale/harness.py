@@ -88,6 +88,13 @@ class ScaleConfig:
     #: request path (O(1) counter updates per request, O(K) memory).
     #: Off by default — the sweep's request loop is the hot path.
     demand: bool = False
+    #: Track wire/queue/memory flow: injects one shared
+    #: :class:`~repro.obs.flow.FlowTracker` into the network, kernel
+    #: heap, and every host's mailbox path, and folds exact
+    #: ``EntityTable`` byte accounting in at collect.  Off by default —
+    #: byte accounting encodes envelopes the sim would otherwise never
+    #: serialize.
+    flow: bool = False
     site: ScaleSiteConfig = field(default_factory=ScaleSiteConfig)
 
     def __post_init__(self) -> None:
@@ -235,6 +242,8 @@ class ScaleDeployment:
     obs: Any = None
     #: Shared DemandTracker when ``config.demand`` asked for one.
     demand: Any = None
+    #: Shared FlowTracker when ``config.flow`` asked for one.
+    flow: Any = None
 
 
 def build_scale_deployment(
@@ -249,6 +258,12 @@ def build_scale_deployment(
     tests exercise.
     """
     kernel = Kernel(config.seed)
+    # Fresh envelope ids per deployment — same rationale as the
+    # experiment harness: fixed-seed byte accounting and traces must
+    # not depend on earlier runs in the process.
+    from repro.net.message import reset_msg_ids
+
+    reset_msg_ids()
     # ``repro profile`` installs a process-wide event profiler; a scale
     # kernel built while it is active reports per-callback counts to it.
     from repro.obs import prof
@@ -298,6 +313,18 @@ def build_scale_deployment(
         for host in hosts:
             host.demand = demand
 
+    flow = None
+    if config.flow:
+        from repro.obs.flow import FlowTracker
+
+        flow = FlowTracker()
+        # The network seam covers the whole transport chain (batching
+        # and fault layers delegate ``flow`` to their inner transport).
+        network.flow = flow
+        kernel.install_flow(flow)
+        for host in hosts:
+            host.install_flow(flow)
+
     directory = ShardedEntityDirectory()
     shares = split_initial_allocation(config.maximum, len(hosts))
     record = tuple(hosts)
@@ -335,6 +362,7 @@ def build_scale_deployment(
         config=config,
         obs=obs,
         demand=demand,
+        flow=flow,
     )
 
 
@@ -449,6 +477,10 @@ class ScaleResult:
     #: ``DemandTracker.snapshot()`` when ``config.demand`` was set —
     #: informational (never part of the gated headline).
     demand: dict[str, Any] | None = None
+    #: ``FlowTracker.snapshot()`` when ``config.flow`` was set; its
+    #: :meth:`~repro.obs.flow.FlowTracker.headline` subtree is what the
+    #: bench gate pins.
+    flow: dict[str, Any] | None = None
 
     @property
     def wall_events_per_sec(self) -> float:
@@ -517,6 +549,23 @@ def run_scale(
     kernel.run(max_events=config.max_drain_events)
     wall = time.perf_counter() - start
     drained = kernel.pending == 0
+    if deployment.flow is not None:
+        from repro.obs.flow import (
+            ResourceProbe,
+            emit_flow_events,
+            entity_table_bytes,
+        )
+
+        deployment.flow.table_bytes = {
+            host.name: entity_table_bytes(host.table)
+            for host in deployment.hosts
+        }
+        # One end-of-run RSS sample (cheap: a /proc read).  It lands in
+        # the snapshot only — memory is machine-dependent and must never
+        # reach the trace (see repro.obs.flow module docs).
+        ResourceProbe(deployment.flow).sample("collect", ts=kernel.now)
+        if deployment.obs is not None:
+            emit_flow_events(deployment.obs, deployment.flow)
     if deployment.obs is not None:
         deployment.obs.sink.close()
 
@@ -563,6 +612,11 @@ def run_scale(
         demand=(
             deployment.demand.snapshot()
             if deployment.demand is not None
+            else None
+        ),
+        flow=(
+            deployment.flow.snapshot()
+            if deployment.flow is not None
             else None
         ),
     )

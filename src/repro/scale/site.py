@@ -257,6 +257,13 @@ class ScaleSiteHost(Actor):
         #: O(1) tracker updates behind the same ``is None`` seam every
         #: other instrumentation point uses.
         self.demand = None
+        #: Optional :class:`~repro.obs.flow.FlowTracker`; install via
+        #: :meth:`install_flow` so the mailbox gauge ref is cached.
+        self.flow = None
+        self._flow_mailbox = None
+        #: Queued acquires across all entities, maintained incrementally
+        #: (``queued_requests()`` recomputes; this feeds the gauge).
+        self._queued_total = 0
         self.rounds_triggered = 0
         self.rounds_applied = 0
         self.unknown_entity = 0
@@ -267,6 +274,18 @@ class ScaleSiteHost(Actor):
 
     def connect(self, host_names: list[str]) -> None:
         self.peers = [peer for peer in host_names if peer != self.name]
+
+    def install_flow(self, tracker) -> None:
+        """Attach a :class:`~repro.obs.flow.FlowTracker` (or ``None``).
+
+        The mailbox gauge (aggregate queued acquires across entities)
+        is cached as a direct ref — the ``Kernel.install_perf`` pattern
+        — so the request path pays one ``is None`` test when off.
+        """
+        self.flow = tracker
+        self._flow_mailbox = (
+            None if tracker is None else tracker.queue(f"scale.mailbox.{self.name}")
+        )
 
     def add_entity(self, entity_id: str, initial_tokens: int) -> int:
         return self.table.add(entity_id, initial_tokens)
@@ -355,6 +374,8 @@ class ScaleSiteHost(Actor):
             self._pending[entity_id] = queue
         if len(queue) >= self.config.max_queue:
             self.table.rejected[row] += 1
+            if self._flow_mailbox is not None:
+                self._flow_mailbox.drop()
             if self.demand is not None:
                 self.demand.serve(
                     self.name, entity_id, "rejected",
@@ -362,6 +383,9 @@ class ScaleSiteHost(Actor):
                 )
             return "rejected"
         queue.append([amount, 0])
+        self._queued_total += 1
+        if self._flow_mailbox is not None:
+            self._flow_mailbox.enqueue(self._queued_total)
         return "queued"
 
     def queued_deficit(self, entity_id: str, row: int) -> int:
@@ -421,6 +445,7 @@ class ScaleSiteHost(Actor):
         queue = self._pending.get(entity_id)
         if not queue:
             return
+        popped = len(queue)
         table = self.table
         demand = self.demand
         adapter = self._protocols[entity_id]
@@ -452,6 +477,11 @@ class ScaleSiteHost(Actor):
                         self.name, entity_id, "rejected", waited=True,
                         tokens_left=table.tokens_left[row], ts=self.now,
                     )
+        removed = popped - len(keep)
+        if removed:
+            self._queued_total -= removed
+            if self._flow_mailbox is not None:
+                self._flow_mailbox.drain(removed, self._queued_total)
         if keep:
             self._pending[entity_id] = keep
             if not degraded:
@@ -470,6 +500,10 @@ class ScaleSiteHost(Actor):
         for entity_id, queue in self._pending.items():
             row = self.table.index_of(entity_id)
             self.table.rejected[row] += len(queue)
+        if self._queued_total:
+            if self._flow_mailbox is not None:
+                self._flow_mailbox.drain(self._queued_total, 0)
+            self._queued_total = 0
         self._pending.clear()
         self._deferred.clear()
 

@@ -43,6 +43,21 @@ class Kernel:
         #: Event-identity profiler (:class:`repro.obs.prof.EventProfiler`)
         #: or ``None``; same cached-seam pattern.
         self.profiler = None
+        #: Flow tracker (:class:`repro.obs.flow.FlowTracker`) or ``None``;
+        #: the cached gauge watches the event heap's high watermark.
+        self.flow = None
+        self._flow_heap = None
+
+    def install_flow(self, tracker) -> None:
+        """Attach a :class:`~repro.obs.flow.FlowTracker` (or ``None``).
+
+        Schedules record the heap depth into the ``kernel.heap`` gauge
+        (enqueue side only — pops are the hottest loop in the repo and
+        the watermark is what backpressure analysis needs).  Same
+        cached-ref pattern as :meth:`install_perf`.
+        """
+        self.flow = tracker
+        self._flow_heap = None if tracker is None else tracker.queue("kernel.heap")
 
     def install_perf(self, recorder) -> None:
         """Attach a :class:`~repro.obs.perf.PerfRecorder` (or ``None``).
@@ -74,10 +89,13 @@ class Kernel:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} seconds in the past")
         if self._perf_push is None:
-            return self._queue.push(self.now + delay, callback, args)
-        start = perf_counter()
-        event = self._queue.push(self.now + delay, callback, args)
-        self._perf_push.record(perf_counter() - start)
+            event = self._queue.push(self.now + delay, callback, args)
+        else:
+            start = perf_counter()
+            event = self._queue.push(self.now + delay, callback, args)
+            self._perf_push.record(perf_counter() - start)
+        if self._flow_heap is not None:
+            self._flow_heap.enqueue(len(self._queue))
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
@@ -87,10 +105,13 @@ class Kernel:
                 f"cannot schedule at t={time} which is before now={self.now}"
             )
         if self._perf_push is None:
-            return self._queue.push(time, callback, args)
-        start = perf_counter()
-        event = self._queue.push(time, callback, args)
-        self._perf_push.record(perf_counter() - start)
+            event = self._queue.push(time, callback, args)
+        else:
+            start = perf_counter()
+            event = self._queue.push(time, callback, args)
+            self._perf_push.record(perf_counter() - start)
+        if self._flow_heap is not None:
+            self._flow_heap.enqueue(len(self._queue))
         return event
 
     def step(self) -> bool:

@@ -218,3 +218,98 @@ def test_unregistered_dataclass_is_rejected_at_encode():
 
     with pytest.raises(codec.CodecError):
         codec.encode(NotOnTheWire())
+
+
+# -- encoded-size goldens (flow-plane satellite) -----------------------------
+#
+# The flow plane's byte accounting is only as trustworthy as the codec's
+# framing is stable, so the framed size of every registered wire type is
+# pinned exactly on the fixed SAMPLES instances.  A failure here means
+# the wire format changed: every committed byte budget (the bench flow
+# headline, the baselines under benchmarks/baselines/) moved with it,
+# deliberately or not.  Update the goldens and regenerate the baselines
+# together.
+
+GOLDEN_FRAME_BYTES: dict[str, int] = {
+    "AbortRedistribution": 111,
+    "Accept": 303,
+    "AcceptNack": 121,
+    "AcceptOk": 100,
+    "AcceptValue": 372,
+    "AcceptValueMsg": 505,
+    "Accepted": 110,
+    "AppendEntries": 327,
+    "AppendEntriesReply": 82,
+    "Backfill": 323,
+    "Ballot": 63,
+    "BatchEnvelope": 866,
+    "BatchItem": 211,
+    "BorrowGrant": 76,
+    "BorrowRequest": 78,
+    "ClientRequest": 193,
+    "ClientResponse": 143,
+    "DecisionMsg": 485,
+    "DiscardRedistribution": 113,
+    "ElectionGetValue": 125,
+    "ElectionOkValue": 1199,
+    "ElectionReject": 123,
+    "EntityScoped": 159,
+    "ForwardedRequest": 264,
+    "Heartbeat": 118,
+    "LogEntry": 183,
+    "Message": 363,
+    "Prepare": 116,
+    "Promise": 322,
+    "RecoveryQuery": 178,
+    "RecoveryReply": 592,
+    "RequestVote": 104,
+    "RequestVoteReply": 63,
+    "SiteResponse": 186,
+    "SiteTokenState": 115,
+    "TokenCommand": 126,
+    "TokenInfoReply": 83,
+    "TokenInfoRequest": 68,
+}
+
+GOLDEN_ENUM_FRAME_BYTES: dict[str, dict[str, int]] = {
+    "Region": {
+        "US_WEST1": 40, "US_CENTRAL1": 43, "US_EAST1": 40,
+        "EUROPE_WEST2": 44, "ASIA_EAST2": 42,
+        "AUSTRALIA_SOUTHEAST1": 52, "SOUTHAMERICA_EAST1": 50,
+    },
+    "RequestKind": {"ACQUIRE": 44, "RELEASE": 44, "READ": 41},
+    "RequestStatus": {"GRANTED": 46, "REJECTED": 47, "FAILED": 45},
+}
+
+
+def test_flow_header_constant_mirrors_codec():
+    # repro.obs.flow hardcodes the framing overhead so the observation
+    # layer never imports the codec; the two must agree.
+    from repro.obs.flow import WIRE_HEADER_BYTES
+
+    assert WIRE_HEADER_BYTES == codec.FRAME_HEADER.size
+
+
+def test_every_registered_type_has_a_size_golden():
+    assert set(GOLDEN_FRAME_BYTES) == set(codec.registered_dataclasses())
+    assert set(GOLDEN_ENUM_FRAME_BYTES) == set(codec.registered_enums())
+    for name, cls in codec.registered_enums().items():
+        assert set(GOLDEN_ENUM_FRAME_BYTES[name]) == {m.name for m in cls}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FRAME_BYTES))
+def test_encoded_frame_size_golden(name):
+    frame = codec.encode_frame(SAMPLES[name])
+    assert len(frame) == GOLDEN_FRAME_BYTES[name], (
+        f"{name} now frames to {len(frame)} bytes (golden "
+        f"{GOLDEN_FRAME_BYTES[name]}); the wire format changed — update "
+        f"the golden and regenerate the bench baselines"
+    )
+    assert len(frame) == codec.FRAME_HEADER.size + len(codec.encode(SAMPLES[name]))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_ENUM_FRAME_BYTES))
+def test_encoded_enum_frame_size_golden(name):
+    cls = codec.registered_enums()[name]
+    sizes = {member.name: len(codec.encode_frame(member)) for member in cls}
+    assert sizes == GOLDEN_ENUM_FRAME_BYTES[name]
