@@ -15,17 +15,25 @@ from repro.harness.report import format_table, write_bench_json
 SEED = 7
 DURATION = 120.0
 QUIET = 40.0
+#: Ambient message-level adversity on every server link (the elevated
+#: rates the pledge discipline and liveness watchdog exist for).
+DROP = 0.05
+DUPLICATE = 0.02
 
 
 def run_all():
-    return run_nemesis(SEED, duration=DURATION, quiet_period=QUIET)
+    return run_nemesis(
+        SEED, duration=DURATION, quiet_period=QUIET,
+        drop=DROP, duplicate=DUPLICATE,
+    )
 
 
 def test_nemesis_smoke(benchmark):
     from conftest import run_once
 
     report = run_once(benchmark, run_all)
-    headers = ["system", "committed", "post-heal", "unanswered", "violations", "verdict"]
+    headers = ["system", "committed", "post-heal", "unanswered",
+               "violations", "pledges stuck/recov", "verdict"]
     rows = [
         [
             system,
@@ -33,6 +41,7 @@ def test_nemesis_smoke(benchmark):
             verdict.post_heal_committed,
             verdict.result.unanswered,
             len(verdict.result.audit_violations),
+            f"{verdict.unresolved_pledges}/{verdict.pledge_recoveries}",
             "pass" if verdict.passed else "FAIL",
         ]
         for system, verdict in report.verdicts.items()
@@ -56,6 +65,8 @@ def test_nemesis_smoke(benchmark):
                     "post_heal_committed": verdict.post_heal_committed,
                     "unanswered": verdict.result.unanswered,
                     "violations": len(verdict.result.audit_violations),
+                    "unresolved_pledges": verdict.unresolved_pledges,
+                    "pledge_recoveries": verdict.pledge_recoveries,
                 }
                 for system, verdict in report.verdicts.items()
             },
@@ -64,6 +75,8 @@ def test_nemesis_smoke(benchmark):
             "seed": SEED,
             "duration": DURATION,
             "quiet_period": QUIET,
+            "drop": DROP,
+            "duplicate": DUPLICATE,
             "systems": list(NEMESIS_SYSTEMS),
         },
         seed=SEED,
@@ -92,8 +105,10 @@ def test_nemesis_smoke(benchmark):
     )
 
 
-# Regression-gate contract: safety metrics are exact (a single violation
-# or unanswered client is a regression, not drift); throughput drifts.
+# Regression-gate contract: safety metrics are exact (a single violation,
+# unanswered client, or unresolved pledge is a regression, not drift);
+# throughput drifts.  pledge_recoveries is exact too: it is seeded and
+# deterministic, and a silent change means the recovery path moved.
 register_baseline(
     "nemesis",
     default=Tolerance(rel=0.10),
@@ -101,7 +116,12 @@ register_baseline(
         **{
             f"per_system.{system}.{metric}": Tolerance()
             for system in NEMESIS_SYSTEMS
-            for metric in ("unanswered", "violations")
+            for metric in (
+                "unanswered",
+                "violations",
+                "unresolved_pledges",
+                "pledge_recoveries",
+            )
         },
         "schedule_events": Tolerance(),
     },

@@ -525,6 +525,8 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
         audit=args.audit,
         wal_enabled=not args.disable_wal,
         trace_dir=args.trace_dir,
+        drop=args.drop,
+        duplicate=args.duplicate,
     )
     rows = []
     for system, verdict in report.verdicts.items():
@@ -537,16 +539,18 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
                 result.unanswered,
                 f"{verdict.post_heal_committed:.0f}",
                 len(result.audit_violations),
+                f"{verdict.unresolved_pledges}/{verdict.pledge_recoveries}",
                 "pass" if verdict.passed else "FAIL",
             ]
         )
     print(
         format_table(
             ["system", "committed", "failed", "unanswered",
-             "post-heal", "violations", "verdict"],
+             "post-heal", "violations", "pledges stuck/recov", "verdict"],
             rows,
             title=(
                 f"nemesis — seed {args.seed}, {args.duration:.0f}s, "
+                f"drop {args.drop:.0%}, dup {args.duplicate:.0%}, "
                 f"final heal t={report.final_heal:.1f}s"
             ),
         )
@@ -1014,6 +1018,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--disable-wal", action="store_true",
         help="disable the recovery write-ahead log (crashed sites recover "
              "stale state; the auditor should catch the conservation break)",
+    )
+    nemesis_parser.add_argument(
+        "--drop", type=float, default=0.05, metavar="P",
+        help="ambient per-message drop probability on every server link "
+             "until the final heal (default 0.05)",
+    )
+    nemesis_parser.add_argument(
+        "--duplicate", type=float, default=0.02, metavar="P",
+        help="ambient per-message duplication probability on every server "
+             "link until the final heal (default 0.02)",
     )
     nemesis_parser.set_defaults(func=cmd_nemesis)
 

@@ -42,6 +42,7 @@ class WorkloadClient(Actor):
         operations: list[Operation],
         metrics=None,
         max_outstanding: int | None = None,
+        request_timeout: float = 10.0,
     ) -> None:
         super().__init__(kernel, name)
         self.region = region
@@ -66,8 +67,9 @@ class WorkloadClient(Actor):
         self.shed = 0
         #: Requests unanswered for this long are written off as FAILED and
         #: freed from the window — without it, one crashed server jams the
-        #: client's window with zombie requests forever.
-        self.request_timeout = 10.0
+        #: client's window with zombie requests forever.  Configurable via
+        #: ``ExperimentConfig.request_timeout``.
+        self.request_timeout = request_timeout
 
     def start(self) -> None:
         self._schedule_next()
@@ -157,11 +159,19 @@ class WorkloadClient(Actor):
         ]
         for request in expired:
             del self._inflight[request.request_id]
+            obs = self.obs
+            if obs is not None:
+                obs.emit(
+                    "liveness.request_expired",
+                    node=self.name,
+                    kind=request.kind.value,
+                    amount=request.amount,
+                    waited=self.now - request.issued_at,
+                    trace_id=f"req-{request.request_id}",
+                )
             span = self._spans.pop(request.request_id, None)
-            if span is not None:
-                obs = self.obs
-                if obs is not None:
-                    obs.span_end(span, outcome="failed")
+            if span is not None and obs is not None:
+                obs.span_end(span, outcome="failed")
             if request.kind is RequestKind.RELEASE:
                 self.outstanding += request.amount  # reservation refund
             if self.metrics is not None:

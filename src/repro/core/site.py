@@ -22,7 +22,7 @@ from typing import Any, Callable
 
 from repro.core.avantan.majority import AvantanMajority
 from repro.core.avantan.star import AvantanStar
-from repro.core.avantan.state import AvantanState
+from repro.core.avantan.state import AvantanState, Ballot
 from repro.core.config import AvantanVariant, SamyaConfig
 from repro.core.entity import Entity, EntityState, SiteTokenState, TokenError
 from repro.core.messages import (
@@ -100,6 +100,18 @@ class SamyaSite(Actor):
         self._last_trigger_at = -math.inf
         self._deferred_trigger: Any = None
         self._epoch_event: Any = None
+        #: Ballot of the oldest *unresolved pledge*: we answered a foreign
+        #: election with our InitVal, so those tokens may be pooled in a
+        #: value we have not seen decide or die.  Until resolved, the
+        #: pledged balance must not be served — under message loss the
+        #: pledged round can decide without us, grant our tokens away,
+        #: and only tell us later.  Resolution: we apply a value that
+        #: includes us, we see the pledged ballot's own decided value, or
+        #: (Avantan[*]) we aborted the pledged ballot and refuse it
+        #: forever; a round that ends any other way re-elects instead of
+        #: draining (see ``on_protocol_idle``).
+        self._pledge: Ballot | None = None
+        self._pledge_amount = 0
 
         #: Observers notified with (site, value, granted) on every applied
         #: redistribution — the invariant checker hooks in here.
@@ -114,6 +126,9 @@ class SamyaSite(Actor):
             "reads": 0,
             "proactive_triggers": 0,
             "reactive_triggers": 0,
+            "pledges_opened": 0,
+            "pledge_settlements": 0,
+            "pledge_recoveries": 0,
         }
 
         network.attach(self, region)
@@ -431,9 +446,41 @@ class SamyaSite(Actor):
             wanted = horizon_demand - self.state.tokens_left
         wanted = max(wanted, self._pending_acquire_deficit())
         self.state.tokens_wanted = wanted
+        if self.protocol is not None:
+            ballot = self.protocol.state.ballot_num
+            if ballot.site_id != self.name and self._pledge is None:
+                # Responding to a *foreign* election: the snapshot we
+                # return may end up pooled in that leader's value.
+                # Remember the oldest such outstanding pledge (a later
+                # one pools the same frozen balance, so the first
+                # suffices), durably — a crash must not forget it.
+                self._pledge = ballot
+                self._pledge_amount = self.state.tokens_left
+                self.counters["pledges_opened"] += 1
+                self._persist_pledge()
+                obs = self.obs
+                if obs is not None:
+                    obs.emit(
+                        "pledge.open",
+                        node=self.name,
+                        value_id=f"{ballot.num}.{ballot.site_id}",
+                        amount=self._pledge_amount,
+                        trace_id=f"rnd-{ballot.num}.{ballot.site_id}",
+                    )
         return self.state.snapshot(self.name)
 
     def apply_redistribution(self, value) -> None:
+        if self._pledge is not None and (
+            value.value_id == self._pledge
+            or value.state_of(self.name) is not None
+        ):
+            # The pledged round's own value arrived (with or without us),
+            # or a newer value pooled us — which, by the leader-side
+            # stale-participant resolution, implies every older decided
+            # value of ours reached us first.  Either way: settled.
+            self._settle_pledge(
+                "decided" if value.value_id == self._pledge else "pooled"
+            )
         proto_state = self.protocol.state if self.protocol is not None else None
         if proto_state is not None:
             if value.value_id in proto_state.applied:
@@ -480,13 +527,19 @@ class SamyaSite(Actor):
 
     def _reserved_tokens(self) -> int:
         """Tokens pooled in an unresolved round — untouchable until the
-        round decides or aborts, because a decision replaces them."""
+        round decides or aborts, because a decision replaces them.
+
+        An unresolved *pledge* stays frozen even while the protocol is
+        inactive: a pledged site normally re-elects straight from
+        ``on_protocol_idle``, but a crashed-then-recovering site can be
+        momentarily idle and must not spend the pledged balance."""
+        pledged = self._pledge_amount if self._pledge is not None else 0
         if self.protocol is None or not self.protocol.active:
-            return 0
+            return pledged
         state = self.protocol.state
-        reserved = 0
+        reserved = pledged
         if state.init_val is not None:
-            reserved = state.init_val.tokens_left
+            reserved = max(reserved, state.init_val.tokens_left)
         if state.accept_val is not None:
             mine = state.accept_val.state_of(self.name)
             if mine is not None:
@@ -515,6 +568,23 @@ class SamyaSite(Actor):
         mid-drain would snapshot an InitVal that the rest of the drain
         keeps mutating, leaking tokens when that stale snapshot is pooled.
         """
+        if self._pledge is not None and self.protocol is not None:
+            if self._pledge in self.protocol.state.dead_ballots:
+                # Avantan[*]: we aborted the pledged round and refuse its
+                # ballot forever, so its value can never decide — the
+                # pledged tokens were never granted away.
+                self._settle_pledge("dead")
+            else:
+                # The round that just ended did not settle the pledge
+                # (e.g. a higher-ballot value decided without us while
+                # the pledged round's decision is still in flight).
+                # Serving now could spend tokens the pledged round has
+                # concurrently granted away — re-elect instead: the
+                # election's recovery exchange either surfaces the
+                # pledged round's decided value or pools our tokens into
+                # a fresh value that includes us.
+                self.recover_pledge()
+                return
         self._draining = True
         try:
             while self._pending:
@@ -524,6 +594,50 @@ class SamyaSite(Actor):
         finally:
             self._draining = False
         self._maybe_proactive()
+
+    def _settle_pledge(self, reason: str) -> None:
+        ballot = self._pledge
+        if ballot is None:
+            return
+        self._pledge = None
+        self._pledge_amount = 0
+        self.counters["pledge_settlements"] += 1
+        self._persist_pledge()
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "pledge.settle",
+                node=self.name,
+                value_id=f"{ballot.num}.{ballot.site_id}",
+                reason=reason,
+                trace_id=f"rnd-{ballot.num}.{ballot.site_id}",
+            )
+
+    def recover_pledge(self, driver: str = "idle") -> bool:
+        """Re-elect (bypassing the reactive cooldown) to resolve an
+        outstanding pledge before the queue may drain.  Called from
+        ``on_protocol_idle``, from ``recover``, and by the liveness
+        watchdog when a pledge goes stale with the protocol inactive."""
+        if self._pledge is None or self.protocol is None or self.protocol.active:
+            return False
+        ballot = self._pledge
+        self.counters["pledge_recoveries"] += 1
+        self._last_trigger_at = self.now
+        # trigger() may terminate synchronously (degenerate clusters) and
+        # settle the pledge before it returns — capture the ballot first.
+        if not self.protocol.trigger():
+            return False
+        obs = self.obs
+        if obs is not None:
+            obs.emit("realloc.trigger", node=self.name, reason="pledge_recovery")
+            obs.emit(
+                "pledge.recover",
+                node=self.name,
+                value_id=f"{ballot.num}.{ballot.site_id}",
+                driver=driver,
+                trace_id=f"rnd-{ballot.num}.{ballot.site_id}",
+            )
+        return True
 
     def protocol_send(self, dst: str, payload: Any) -> None:
         self.network.send(self.name, dst, payload)
@@ -595,6 +709,14 @@ class SamyaSite(Actor):
             "entity", (self.state.tokens_left, self.state.tokens_wanted)
         )
 
+    def _persist_pledge(self) -> None:
+        self.wal.append(
+            "pledge",
+            None
+            if self._pledge is None
+            else (self._pledge.num, self._pledge.site_id, self._pledge_amount),
+        )
+
     def crash(self) -> None:
         super().crash()
         if self.protocol is not None:
@@ -621,16 +743,44 @@ class SamyaSite(Actor):
             tokens_left, tokens_wanted = self.initial_tokens, 0
         self.state.tokens_left = tokens_left
         self.state.tokens_wanted = tokens_wanted
+        # Restore the pledge exactly as the disk recorded it: a missing
+        # record means no pledge ever reached stable storage (or the
+        # last record settled it) — either way nothing is frozen.
+        pledge_record = replayed.get("pledge")
+        if pledge_record is not None:
+            num, site_id, amount = pledge_record
+            self._pledge = Ballot(num, site_id)
+            self._pledge_amount = amount
+        else:
+            self._pledge = None
+            self._pledge_amount = 0
         proto_state = replayed.get("avantan")
         if self.protocol is not None and proto_state is not None:
             self.protocol.on_recover(proto_state)
         self._schedule_epoch()
+        if self._pledge is not None and (
+            self.protocol is None or not self.protocol.active
+        ):
+            # Recovered idle with an unresolved pledge (the crash hid the
+            # pledged round's outcome): re-elect to learn it before any
+            # request can be served from the pledged balance.
+            self.recover_pledge(driver="recovery")
 
     # -- introspection -------------------------------------------------------------
 
     @property
     def tokens_left(self) -> int:
         return self.state.tokens_left
+
+    @property
+    def unresolved_pledge(self) -> Ballot | None:
+        """Ballot of the oldest unresolved pledge (None when settled)."""
+        return self._pledge
+
+    @property
+    def pledged_tokens(self) -> int:
+        """Balance frozen under the unresolved pledge (0 when settled)."""
+        return self._pledge_amount if self._pledge is not None else 0
 
     def redistribution_stats(self) -> dict[str, int]:
         stats = self.protocol.stats.as_dict() if self.protocol is not None else {}

@@ -43,6 +43,7 @@ from repro.obs.flow import FlowTracker, emit_flow_events
 from repro.obs.perf import PerfRecorder, PerfSpanTap
 from repro.obs.registry import MetricsRegistry, TraceMetricsFeed
 from repro.obs.schema import SCHEMA
+from repro.resilience import LivenessWatchdog
 from repro.prediction.arima import ArimaPredictor
 from repro.prediction.lstm import LstmPredictor
 from repro.prediction.oracle import OraclePredictor
@@ -104,6 +105,17 @@ class ExperimentConfig:
     faults: tuple[RegionFault, ...] = ()
     #: Per-client in-flight window (None = unbounded open loop).
     max_outstanding: int | None = 8
+    #: Clients write off requests unanswered for this long as FAILED
+    #: (frees the window; emits ``liveness.request_expired`` on traced
+    #: runs).  Fault scenarios that heal late should raise it.
+    request_timeout: float = 10.0
+    #: Subscribe the liveness watchdog (repro.resilience) to the run's
+    #: event stream: periodic sweeps flag stuck rounds / starved
+    #: requests / stale pledges as ``liveness.*`` events and drive
+    #: pledge recovery on idle sites.  Requires a bus (any traced or
+    #: monitored run); snapshot lands in
+    #: ``ExperimentResult.liveness_snapshot``.
+    watchdog: bool = False
     enforce_constraint: bool = True
     redistribute: bool = True
     proactive: bool = True
@@ -206,6 +218,10 @@ class ExperimentResult:
     #: frames/bytes, queue watermarks, coalescing efficiency (see
     #: FlowTracker.snapshot; lands in bench ``flow`` sections).
     flow_snapshot: dict | None = None
+    #: Watchdog rollup (config.watchdog): sweeps run, stuck/starved/
+    #: stale detections, recoveries driven, and what was still open at
+    #: the end (see LivenessWatchdog.snapshot).
+    liveness_snapshot: dict | None = None
 
     @property
     def committed_total(self) -> int:
@@ -314,6 +330,11 @@ class Experiment:
             # trace events (audited, never lost) instead of mid-run raises.
             self.checker.obs = self.obs
         self.servers = self._servers()
+        self.watchdog: LivenessWatchdog | None = None
+        if config.watchdog and self.obs is not None:
+            self.watchdog = LivenessWatchdog()
+            self.watchdog.watch(self.servers)
+            self.obs.subscribe(self.watchdog)
         self._add_clients()
         self._controller = CrashController(self.kernel, self.network)
         self._install_faults()
@@ -483,6 +504,7 @@ class Experiment:
                 operations = mix_reads(operations, config.read_ratio, rng)
             client = self.cluster.add_client(region, operations, metrics=self.metrics)
             client.max_outstanding = config.max_outstanding
+            client.request_timeout = config.request_timeout
             self.clients.append(client)
 
     # -- faults ------------------------------------------------------------------
@@ -538,6 +560,8 @@ class Experiment:
             self.checker.install_periodic(
                 self.kernel, config.invariant_interval, config.duration
             )
+        if self.watchdog is not None:
+            self.watchdog.install_periodic(self.kernel, self.obs, config.duration)
         self.cluster.start()
 
     def collect(self) -> ExperimentResult:
@@ -614,6 +638,8 @@ class Experiment:
             result.demand_snapshot = self.demand.snapshot()
         if self.flow_tracker is not None:
             result.flow_snapshot = self.flow_tracker.snapshot()
+        if self.watchdog is not None:
+            result.liveness_snapshot = self.watchdog.snapshot()
         return result
 
     def run(self) -> ExperimentResult:

@@ -38,10 +38,13 @@ from repro.sim.kernel import Kernel
 #: fidelity and carry no durable escrow state to recover.
 NEMESIS_SYSTEMS = ("samya-majority", "multipaxsys", "demarcation")
 
-#: Extra sim-seconds past the workload before collection — longer than
-#: ``WorkloadClient.request_timeout`` (10 s) so every request still in
-#: flight at the end is old enough to be written off, never stranded.
-GRACE = 15.0
+#: Extra sim-seconds past the workload before collection, beyond the
+#: client request timeout — so every request still in flight at the end
+#: is old enough to be written off, never stranded.
+GRACE_MARGIN = 5.0
+
+#: Backwards-compatible alias: the grace under the default 10 s timeout.
+GRACE = 10.0 + GRACE_MARGIN
 
 
 @dataclass
@@ -52,10 +55,18 @@ class SystemVerdict:
     result: ExperimentResult
     #: Operations committed after the schedule's final heal time.
     post_heal_committed: float
+    #: Sites still holding a frozen (pledged) balance at quiesce.  A
+    #: pledge unresolved after the grace period is a site that will
+    #: refuse to serve part of its balance forever — a safety bug in
+    #: the recovery path, not a liveness hiccup.
+    unresolved_pledges: int = 0
+    #: Recovery elections the pledge discipline triggered (idle-path,
+    #: WAL-replay, or watchdog-driven) — adversity coverage evidence.
+    pledge_recoveries: int = 0
 
     @property
     def safe(self) -> bool:
-        return not self.result.audit_violations
+        return not self.result.audit_violations and self.unresolved_pledges == 0
 
     @property
     def live(self) -> bool:
@@ -96,6 +107,9 @@ def run_nemesis(
     audit: bool = True,
     wal_enabled: bool = True,
     trace_dir: str | Path | None = None,
+    drop: float = 0.05,
+    duplicate: float = 0.02,
+    request_timeout: float = 10.0,
 ) -> NemesisReport:
     """Run one seeded nemesis schedule against each system.
 
@@ -104,6 +118,13 @@ def run_nemesis(
     appends, so a crashed site recovers *stale* token state — which the
     auditor must flag as a conservation violation (the regression test
     for the recovery path itself).
+
+    ``drop``/``duplicate`` set an *ambient* message-level degradation on
+    every server link from t=0 until the schedule's final heal — on top
+    of the region crashes and partitions.  This is what forces the
+    pledge paths: a dropped Accept or Decision leaves a cohort holding a
+    promise it must neither serve from nor abandon, until the pledge
+    discipline (idle-path or watchdog) recovers it.
     """
     nemesis = Nemesis(
         seed,
@@ -133,6 +154,11 @@ def run_nemesis(
             # adversity is exactly when retransmit/duplicate chatter
             # shows, and the bench artifact's flow section needs it.
             flow=True,
+            request_timeout=request_timeout,
+            # The liveness watchdog rides every nemesis run: its sweeps
+            # drive stale-pledge recovery during partitions, and its
+            # liveness.* detections land in the trace artifact.
+            watchdog=True,
         )
         experiment = Experiment(config, kernel=kernel, network=network)
         if not wal_enabled:
@@ -140,8 +166,12 @@ def run_nemesis(
                 wal = getattr(server, "wal", None)
                 if wal is not None:
                     wal.enabled = False
+        if drop > 0.0 or duplicate > 0.0:
+            degraded = [server.name for server in experiment.servers]
+            network.degrade(degraded, drop=drop, duplicate=duplicate)
+            kernel.schedule(final_heal, network.restore, degraded)
         experiment.start()
-        kernel.run(until=duration + GRACE)
+        kernel.run(until=duration + request_timeout + GRACE_MARGIN)
         for client in experiment.clients:
             client._expire_stale_inflight()
         result = experiment.collect()
@@ -151,6 +181,17 @@ def run_nemesis(
             if bucket >= final_heal
         )
         report.verdicts[system] = SystemVerdict(
-            system=system, result=result, post_heal_committed=post_heal
+            system=system,
+            result=result,
+            post_heal_committed=post_heal,
+            unresolved_pledges=sum(
+                1
+                for server in experiment.servers
+                if getattr(server, "unresolved_pledge", None) is not None
+            ),
+            pledge_recoveries=sum(
+                getattr(server, "counters", {}).get("pledge_recoveries", 0)
+                for server in experiment.servers
+            ),
         )
     return report

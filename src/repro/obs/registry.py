@@ -382,6 +382,31 @@ class TraceMetricsFeed:
             "Per-drop backpressure events at a full queue",
             ("queue",),
         )
+        self.pledge_opened = registry.counter(
+            "repro_pledge_opened_total",
+            "Balances frozen by answering a foreign election",
+            ("node",),
+        )
+        self.pledge_settled = registry.counter(
+            "repro_pledge_settled_total",
+            "Pledges resolved, by how the outcome arrived",
+            ("node", "reason"),
+        )
+        self.pledge_recoveries = registry.counter(
+            "repro_pledge_recoveries_total",
+            "Recovery elections started to resolve a pledge",
+            ("node",),
+        )
+        self.pledges_open = registry.gauge(
+            "repro_pledges_open",
+            "Pledges currently unresolved",
+            ("node",),
+        )
+        self.liveness_events = registry.counter(
+            "repro_liveness_events_total",
+            "Watchdog detections and client write-offs",
+            ("kind",),
+        )
         #: node -> [local, waited] running split for the locality gauge.
         self._locality: dict[str, list[int]] = {}
         #: node -> [ape_sum, ape_count] running MAPE accumulators.
@@ -433,6 +458,18 @@ class TraceMetricsFeed:
                     )
         elif etype.startswith("fault."):
             self.faults.inc(etype[6:])
+        elif etype.startswith("pledge."):
+            node = str(event.get("node", ""))
+            if etype == "pledge.open":
+                self.pledge_opened.inc(node)
+                self.pledges_open.set(node, value=1.0)
+            elif etype == "pledge.settle":
+                self.pledge_settled.inc(node, str(event.get("reason", "?")))
+                self.pledges_open.set(node, value=0.0)
+            elif etype == "pledge.recover":
+                self.pledge_recoveries.inc(node)
+        elif etype.startswith("liveness."):
+            self.liveness_events.inc(etype[9:])
         elif etype == "invariant.check":
             self.invariant_checks.inc()
         elif etype == "invariant.violation":

@@ -254,6 +254,44 @@ EVENT_TYPES: dict[str, dict[str, dict[str, tuple[type, ...]]]] = {
             "maximum": _INT,
         },
     },
+    # ``pledge.*`` — the promise-time pledge discipline (DESIGN §9): a
+    # site that answers a foreign election freezes the pooled balance
+    # until the pledged round's outcome is known.
+    "pledge.open": {
+        "required": {"value_id": _STR, "amount": _INT},
+        "optional": {"trace_id": _STR},
+    },
+    "pledge.settle": {
+        # ``reason``: "decided" (the pledged ballot's own value arrived),
+        # "pooled" (a newer value included us), or "dead" (Avantan[*]
+        # aborted the ballot and refuses it forever).
+        "required": {"value_id": _STR, "reason": _STR},
+        "optional": {"trace_id": _STR, "amount": _INT},
+    },
+    "pledge.recover": {
+        # ``driver``: "idle" (round ended unresolved), "recovery" (crash
+        # replay restored the pledge), or "watchdog" (liveness sweep).
+        "required": {"value_id": _STR},
+        "optional": {"trace_id": _STR, "driver": _STR},
+    },
+    # ``liveness.*`` — the watchdog (repro.resilience) and the client
+    # write-off path: detections of work stuck past its deadline.
+    "liveness.stuck_round": {
+        "required": {"age": _NUM},
+        "optional": {"trace_id": _STR, "role": _STR},
+    },
+    "liveness.request_starved": {
+        "required": {"age": _NUM},
+        "optional": {"trace_id": _STR},
+    },
+    "liveness.pledge_stale": {
+        "required": {"value_id": _STR, "age": _NUM},
+        "optional": {"trace_id": _STR, "rounds": _INT, "recovered": (bool,)},
+    },
+    "liveness.request_expired": {
+        "required": {"kind": _STR, "waited": _NUM},
+        "optional": {"trace_id": _STR, "amount": _INT},
+    },
     "fault.crash": {
         "required": {"targets": _STR},
         "optional": {},

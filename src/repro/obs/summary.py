@@ -181,6 +181,12 @@ class TraceSummaryBuilder:
         self.faults: list[list[object]] = []
         self.invariant_checks = 0
         self.invariant_violations: Counter[str] = Counter()
+        #: Pledge lifecycle: opens, settles by reason, recovery elections.
+        self.pledges_opened = 0
+        self.pledge_settlements: Counter[str] = Counter()
+        self.pledge_recoveries = 0
+        #: Watchdog detections / client write-offs, keyed by liveness kind.
+        self.liveness: Counter[str] = Counter()
 
     def add(self, event: dict[str, Any]) -> None:
         self.events += 1
@@ -224,6 +230,19 @@ class TraceSummaryBuilder:
             self.invariant_checks += 1
         elif etype == "invariant.violation":
             self.invariant_violations[event.get("invariant", "?")] += 1
+        elif etype == "pledge.open":
+            self.pledges_opened += 1
+        elif etype == "pledge.settle":
+            self.pledge_settlements[event.get("reason", "?")] += 1
+        elif etype == "pledge.recover":
+            self.pledge_recoveries += 1
+        elif isinstance(etype, str) and etype.startswith("liveness."):
+            self.liveness[etype[9:]] += 1
+            # Detections read best in the fault timeline: they answer
+            # "what went wrong when", same as the injected faults do.
+            self.faults.append(
+                [f"{event.get('ts', 0.0):.1f}", etype[9:], event.get("node", "-")]
+            )
         elif isinstance(etype, str) and etype.startswith("fault."):
             target = event.get("targets") or event.get("groups") or "-"
             self.faults.append([f"{event.get('ts', 0.0):.1f}", etype[6:], target])
@@ -351,12 +370,19 @@ class TraceSummaryBuilder:
                 )
             )
         if self.faults:
-            sections.append(
-                format_table(
-                    ["t (s)", "fault", "targets"], self.faults, title="injected faults"
-                )
+            title = (
+                "injected faults & liveness detections"
+                if self.liveness
+                else "injected faults"
             )
-        if self.invariant_checks or self.invariant_violations:
+            sections.append(
+                format_table(["t (s)", "fault", "targets"], self.faults, title=title)
+            )
+        if (
+            self.invariant_checks
+            or self.invariant_violations
+            or self.pledges_opened
+        ):
             rows: list[list[object]] = [["checks recorded", self.invariant_checks]]
             for invariant in sorted(self.invariant_violations):
                 rows.append(
@@ -364,6 +390,17 @@ class TraceSummaryBuilder:
                 )
             if not self.invariant_violations:
                 rows.append(["violations", 0])
+            if self.pledges_opened:
+                rows.append(["pledges opened", self.pledges_opened])
+                for reason in sorted(self.pledge_settlements):
+                    rows.append(
+                        [f"pledges settled: {reason}", self.pledge_settlements[reason]]
+                    )
+                rows.append(["pledge recoveries", self.pledge_recoveries])
+                unresolved = self.pledges_opened - sum(
+                    self.pledge_settlements.values()
+                )
+                rows.append(["pledges unresolved", unresolved])
             sections.append(
                 format_table(["safety audit", "count"], rows, title="invariant audits")
             )

@@ -48,6 +48,9 @@ class TestCleanRun:
             assert verdict.result.audit_violations == [], system
             assert verdict.result.unanswered == 0, system
             assert verdict.post_heal_committed > 0, system
+            # No site may still hold a frozen (pledged) balance once the
+            # run has quiesced — an unresolved pledge is a safety FAIL.
+            assert verdict.unresolved_pledges == 0, system
             assert verdict.passed, system
         assert clean_report.passed
         assert clean_report.violations() == []
